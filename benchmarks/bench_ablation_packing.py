@@ -1,0 +1,48 @@
+"""Ablation: answer-encoding density and the staged growth of Figure 5d.
+
+DESIGN.md decision 3: POIs are packed at 64 bits each (id + two quantized
+coordinates), giving 15 POIs per 1024-bit integer — the density the paper
+reports.  This bench tabulates m (integers per answer) against k for
+several key sizes and field layouts, showing where each extra ciphertext
+"step" in the communication curve comes from.
+"""
+
+from __future__ import annotations
+
+from repro.encoding.answers import AnswerCodec
+from repro.geometry.space import LocationSpace
+
+K_VALUES = [1, 2, 4, 8, 15, 16, 30, 31, 32, 64]
+
+
+def test_ablation_packing_density(recorder, benchmark):
+    space = LocationSpace.unit_square()
+    rows = {}
+    for keysize in (256, 512, 1024):
+        rows[f"m @ {keysize}-bit keys"] = [
+            str(AnswerCodec(keysize, k, space).m) for k in K_VALUES
+        ]
+    # A wasteful layout (one POI per integer) for contrast.
+    rows["m, one POI per integer"] = [str(1 + k) for k in K_VALUES]
+    recorder.record(
+        "ablation_packing",
+        "Ablation: answer integers m vs k (64-bit POI slots)",
+        "k",
+        K_VALUES,
+        rows,
+        notes="steps in m are the staged growth of the Fig 5d comm curve",
+    )
+
+    codec_1024 = AnswerCodec(1024, 15, space)
+    assert codec_1024.pois_per_integer == 15  # the paper's density
+    assert codec_1024.m == 1  # 15 POIs + header fit one integer
+    assert AnswerCodec(1024, 16, space).m == 2  # the first step
+
+    # m is monotone in k for every key size.
+    for keysize in (256, 512, 1024):
+        ms = [AnswerCodec(keysize, k, space).m for k in K_VALUES]
+        assert ms == sorted(ms)
+
+    benchmark.pedantic(
+        lambda: AnswerCodec(1024, 32, space).encode([]), rounds=3, iterations=1
+    )

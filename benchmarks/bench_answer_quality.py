@@ -1,0 +1,109 @@
+"""Extension: quantifying the answer-utility claims of Sections 8-9.
+
+The paper argues qualitatively that approximate schemes degrade utility —
+APNN returns the kNN of a grid-cell center, GLP the kNN of the centroid —
+while PPGNN returns exact (possibly truncated) answers and IPPF filters a
+superset down to the exact top-k.  This bench puts numbers on that:
+precision / recall against the exact kGNN answer and the mean
+aggregate-cost ratio (1.0 = optimal), averaged over repeated queries.
+
+Expected: PPGNN precision 1.0 and cost ratio 1.0 (its prefix is exact);
+IPPF all 1.0 (exact but leaky); GLP clearly below 1.0 precision with a
+cost ratio above 1.0; APNN (n = 1) close to exact but not exact.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.baselines.apnn import APNNServer, run_apnn
+from repro.baselines.glp import run_glp
+from repro.baselines.ippf import run_ippf
+from repro.core.group import run_ppgnn
+from repro.metrics.quality import evaluate_answer
+
+ROUNDS = 6
+
+
+def _exact(lsp, locations, k):
+    return lsp.engine.query(k, locations)
+
+
+def test_answer_quality_group(lsp, settings, config_factory, recorder, benchmark):
+    cfg = config_factory()
+    rows = {"precision": {}, "recall": {}, "cost ratio": {}}
+    protocols = {
+        "ppgnn": lambda group, seed: [
+            lsp.engine.poi_by_id(a.poi_id)
+            for a in run_ppgnn(lsp, group, cfg, seed=seed).answers
+        ],
+        "ippf": lambda group, seed: list(
+            run_ippf(lsp, group, cfg, seed=seed).answers
+        ),
+        "glp": lambda group, seed: list(run_glp(lsp, group, cfg, seed=seed).answers),
+    }
+    for name, runner in protocols.items():
+        qualities = []
+        for i in range(ROUNDS):
+            group = lsp.space.sample_points(8, np.random.default_rng(settings.seed + i))
+            returned = runner(group, i)
+            exact = _exact(lsp, group, cfg.k)
+            qualities.append(evaluate_answer(returned, exact, group, lsp.aggregate))
+        rows["precision"][name] = f"{np.mean([q.precision for q in qualities]):.3f}"
+        rows["recall"][name] = f"{np.mean([q.recall for q in qualities]):.3f}"
+        rows["cost ratio"][name] = f"{np.mean([q.cost_ratio for q in qualities]):.4f}"
+
+    recorder.record(
+        "answer_quality",
+        f"Answer quality vs exact kGNN (n=8, k={cfg.k}, {ROUNDS} queries)",
+        "metric",
+        list(protocols),
+        {
+            metric: [values[name] for name in protocols]
+            for metric, values in rows.items()
+        },
+        notes="ppgnn precision/cost are exact by construction; glp approximates",
+    )
+    assert rows["precision"]["ppgnn"] == "1.000"
+    assert rows["precision"]["ippf"] == "1.000"
+    assert float(rows["precision"]["glp"]) < 1.0
+    assert float(rows["cost ratio"]["glp"]) > 1.0
+
+    group = lsp.space.sample_points(8, np.random.default_rng(0))
+    benchmark.pedantic(
+        lambda: run_glp(lsp, group, cfg, seed=0), rounds=1, iterations=1
+    )
+
+
+def test_answer_quality_single_user(lsp, pois, settings, config_factory, recorder, benchmark):
+    cfg = config_factory(delta=25, theta0=None, sanitize=False)
+    server = APNNServer(pois, cells_per_side=64)
+    qualities = []
+    for i in range(ROUNDS):
+        user = lsp.space.sample_point(np.random.default_rng(settings.seed + i))
+        returned = list(run_apnn(server, user, cfg, seed=i).answers)
+        exact = _exact(lsp, [user], cfg.k)
+        qualities.append(evaluate_answer(returned, exact, [user], lsp.aggregate))
+    precision = float(np.mean([q.precision for q in qualities]))
+    ratio = float(np.mean([q.cost_ratio for q in qualities]))
+    recorder.record(
+        "answer_quality",
+        f"APNN (n=1) quality vs exact kNN (k={cfg.k}, {ROUNDS} queries)",
+        "metric",
+        ["precision", "recall", "cost ratio"],
+        {
+            "apnn": [
+                f"{precision:.3f}",
+                f"{np.mean([q.recall for q in qualities]):.3f}",
+                f"{ratio:.4f}",
+            ]
+        },
+        notes="the price of the precomputed grid: near-exact, not exact",
+    )
+    assert ratio >= 1.0
+    assert precision > 0.4  # close to the exact answer, as the paper implies
+
+    user = lsp.space.sample_point(np.random.default_rng(1))
+    benchmark.pedantic(
+        lambda: run_apnn(server, user, cfg, seed=1), rounds=1, iterations=1
+    )

@@ -1,0 +1,112 @@
+"""Figure 5: the single-user query evaluation (n = 1).
+
+- 5a/5b/5c: communication / user / LSP cost of PPGNN vs PPGNN-OPT while the
+  Privacy I parameter d varies.  Expected shape: all costs grow with d;
+  PPGNN-OPT's comm overtakes PPGNN beyond a moderate d (the paper sees the
+  crossover near d = 15), while its LSP cost is always higher (the second
+  selection phase).
+- 5d/5e/5f: the same costs plus the APNN baseline while k varies.  Expected
+  shape: staged growth of comm with k (several POIs pack into one big
+  integer), and APNN showing the lowest LSP cost thanks to its precomputed
+  grid — paid for with approximate answers.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.baselines.apnn import APNNServer, run_apnn
+from repro.bench.harness import format_bytes, format_seconds, measure_protocol
+from repro.core.single import run_single_user, run_single_user_opt
+
+D_VALUES = [5, 15, 25, 35, 50]
+K_VALUES = [2, 4, 8, 16, 32]
+
+
+@pytest.fixture(scope="module")
+def apnn_server(pois):
+    # 64 x 64 grid; b = 5 gives the d = 25-equivalent privacy level.
+    return APNNServer(pois, cells_per_side=64)
+
+
+def _user_location(lsp, seed: int):
+    return lsp.space.sample_point(np.random.default_rng(seed))
+
+
+def _measure(run, settings):
+    return measure_protocol(run, repeats=settings.repeats, base_seed=settings.seed)
+
+
+def test_fig5_vary_d(lsp, settings, config_factory, recorder, benchmark):
+    """Figures 5a-5c: PPGNN vs PPGNN-OPT over the Privacy I parameter d."""
+    rows: dict[str, dict[str, list]] = {
+        "comm": {"ppgnn": [], "ppgnn-opt": []},
+        "user": {"ppgnn": [], "ppgnn-opt": []},
+        "lsp": {"ppgnn": [], "ppgnn-opt": []},
+    }
+    for d in D_VALUES:
+        cfg = config_factory(d=d, delta=d, theta0=None, sanitize=False)
+        plain = _measure(
+            lambda seed: run_single_user(lsp, _user_location(lsp, seed), cfg, seed),
+            settings,
+        )
+        opt = _measure(
+            lambda seed: run_single_user_opt(lsp, _user_location(lsp, seed), cfg, seed),
+            settings,
+        )
+        for metric, values in (("comm", "comm_bytes"), ("user", "user_seconds"), ("lsp", "lsp_seconds")):
+            fmt = format_bytes if metric == "comm" else format_seconds
+            rows[metric]["ppgnn"].append(fmt(getattr(plain, values)))
+            rows[metric]["ppgnn-opt"].append(fmt(getattr(opt, values)))
+    for metric, title in (
+        ("comm", "Fig 5a: communication cost vs d (n=1)"),
+        ("user", "Fig 5b: user cost vs d (n=1)"),
+        ("lsp", "Fig 5c: LSP cost vs d (n=1)"),
+    ):
+        recorder.record("fig5", title, "d", D_VALUES, rows[metric])
+    cfg = config_factory(theta0=None, sanitize=False, delta=25)
+    benchmark.pedantic(
+        lambda: run_single_user(lsp, _user_location(lsp, 0), cfg, 0),
+        rounds=1,
+        iterations=1,
+    )
+
+
+def test_fig5_vary_k(lsp, settings, config_factory, apnn_server, recorder, benchmark):
+    """Figures 5d-5f: PPGNN, PPGNN-OPT, and APNN over k."""
+    rows: dict[str, dict[str, list]] = {
+        metric: {"ppgnn": [], "ppgnn-opt": [], "apnn": []}
+        for metric in ("comm", "user", "lsp")
+    }
+    for k in K_VALUES:
+        cfg = config_factory(k=k, delta=25, theta0=None, sanitize=False)
+        plain = _measure(
+            lambda seed: run_single_user(lsp, _user_location(lsp, seed), cfg, seed),
+            settings,
+        )
+        opt = _measure(
+            lambda seed: run_single_user_opt(lsp, _user_location(lsp, seed), cfg, seed),
+            settings,
+        )
+        apnn = _measure(
+            lambda seed: run_apnn(apnn_server, _user_location(lsp, seed), cfg, seed=seed),
+            settings,
+        )
+        for metric, attr in (("comm", "comm_bytes"), ("user", "user_seconds"), ("lsp", "lsp_seconds")):
+            fmt = format_bytes if metric == "comm" else format_seconds
+            rows[metric]["ppgnn"].append(fmt(getattr(plain, attr)))
+            rows[metric]["ppgnn-opt"].append(fmt(getattr(opt, attr)))
+            rows[metric]["apnn"].append(fmt(getattr(apnn, attr)))
+    for metric, title in (
+        ("comm", "Fig 5d: communication cost vs k (n=1)"),
+        ("user", "Fig 5e: user cost vs k (n=1)"),
+        ("lsp", "Fig 5f: LSP cost vs k (n=1)"),
+    ):
+        recorder.record("fig5", title, "k", K_VALUES, rows[metric])
+    cfg = config_factory(delta=25, theta0=None, sanitize=False)
+    benchmark.pedantic(
+        lambda: run_apnn(apnn_server, _user_location(lsp, 1), cfg, seed=1),
+        rounds=1,
+        iterations=1,
+    )

@@ -1,0 +1,126 @@
+"""Figure 8: PPGNN (and PPGNN-NAS) against the IPPF and GLP baselines.
+
+Sweeps k (8a-c) and n (8d-f).  Expected shapes from the paper:
+
+- communication: IPPF worst by far (it ships the whole candidate superset
+  and hops it along the user chain); GLP grows O(n^2); PPGNN flat-ish,
+- user cost: GLP worst (O(n^2) cryptographic work), IPPF pays candidate
+  filtering, PPGNN only the indicator encryption and decryption,
+- LSP cost: PPGNN highest — the gap to PPGNN-NAS *is* the answer
+  sanitation; PPGNN-NAS lands near IPPF/GLP.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.baselines.glp import run_glp
+from repro.baselines.ippf import run_ippf
+from repro.bench.harness import format_bytes, format_seconds, measure_protocol
+from repro.core.group import run_ppgnn
+
+K_VALUES = [2, 4, 8, 16, 32]
+N_VALUES = [2, 4, 8, 16, 32]
+METRICS = (("comm", "comm_bytes"), ("user", "user_seconds"), ("lsp", "lsp_seconds"))
+
+
+def _group(lsp, n: int, seed: int):
+    return lsp.space.sample_points(n, np.random.default_rng(seed))
+
+
+def _runners(config_factory):
+    def make(cfg):
+        return {
+            "ppgnn": lambda lsp, group, seed: run_ppgnn(lsp, group, cfg, seed=seed),
+            "ppgnn-nas": lambda lsp, group, seed: run_ppgnn(
+                lsp, group, cfg.without_sanitation(), seed=seed
+            ),
+            "ippf": lambda lsp, group, seed: run_ippf(lsp, group, cfg, seed=seed),
+            "glp": lambda lsp, group, seed: run_glp(lsp, group, cfg, seed=seed),
+        }
+
+    return make
+
+
+def _sweep(lsp, settings, config_factory, xs, config_for, n_for):
+    make = _runners(config_factory)
+    names = ["ppgnn", "ppgnn-nas", "ippf", "glp"]
+    rows = {metric: {name: [] for name in names} for metric, _ in METRICS}
+    candidate_counts = []
+    for x in xs:
+        cfg = config_for(x)
+        n = n_for(x)
+        runners = make(cfg)
+        for name in names:
+            measured = measure_protocol(
+                lambda seed: runners[name](lsp, _group(lsp, n, seed), seed),
+                repeats=settings.repeats,
+                base_seed=settings.seed,
+            )
+            if name == "ippf":
+                counts = measured.extras.get("candidate_count", [])
+                candidate_counts.append(
+                    sum(counts) / len(counts) if counts else 0.0
+                )
+            for metric, attr in METRICS:
+                fmt = format_bytes if metric == "comm" else format_seconds
+                rows[metric][name].append(fmt(getattr(measured, attr)))
+    return rows, candidate_counts
+
+
+def test_fig8_vary_k(lsp, settings, config_factory, recorder, benchmark):
+    rows, candidates = _sweep(
+        lsp,
+        settings,
+        config_factory,
+        K_VALUES,
+        config_for=lambda k: config_factory(k=k),
+        n_for=lambda _: 8,
+    )
+    for (metric, _), title in zip(
+        METRICS,
+        (
+            "Fig 8a: communication cost vs k (n=8)",
+            "Fig 8b: user cost vs k (n=8)",
+            "Fig 8c: LSP cost vs k (n=8)",
+        ),
+    ):
+        recorder.record("fig8", title, "k", K_VALUES, rows[metric])
+    recorder.note(
+        "fig8",
+        f"IPPF mean candidate counts over k={K_VALUES}: "
+        f"{[round(c, 1) for c in candidates]}",
+    )
+    cfg = config_factory()
+    benchmark.pedantic(
+        lambda: run_ippf(lsp, _group(lsp, 8, 0), cfg, seed=0), rounds=1, iterations=1
+    )
+
+
+def test_fig8_vary_n(lsp, settings, config_factory, recorder, benchmark):
+    rows, candidates = _sweep(
+        lsp,
+        settings,
+        config_factory,
+        N_VALUES,
+        config_for=lambda _: config_factory(),
+        n_for=lambda n: n,
+    )
+    for (metric, _), title in zip(
+        METRICS,
+        (
+            "Fig 8d: communication cost vs n (k=8)",
+            "Fig 8e: user cost vs n (k=8)",
+            "Fig 8f: LSP cost vs n (k=8)",
+        ),
+    ):
+        recorder.record("fig8", title, "n", N_VALUES, rows[metric])
+    recorder.note(
+        "fig8",
+        f"IPPF mean candidate counts over n={N_VALUES}: "
+        f"{[round(c, 1) for c in candidates]}",
+    )
+    cfg = config_factory()
+    benchmark.pedantic(
+        lambda: run_glp(lsp, _group(lsp, 16, 0), cfg, seed=0), rounds=1, iterations=1
+    )

@@ -1,0 +1,82 @@
+"""Micro-benchmarks of the cryptographic primitives (pytest-benchmark).
+
+These are the C_e building blocks of Table 2's cost model: encryption,
+decryption, homomorphic addition/scalar multiplication, and the private
+selection.  Timings here explain the macro numbers in Figures 5-8 — e.g.
+the eps_2/eps_1 cost ratio that decides the PPGNN-OPT user-cost crossover.
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.crypto.homomorphic import (
+    encrypt_indicator,
+    hom_add,
+    hom_scalar_mul,
+    matrix_select,
+)
+from repro.crypto.paillier import generate_keypair
+
+
+@pytest.fixture(scope="module")
+def kp(settings):
+    return generate_keypair(settings.keysize, seed=settings.seed)
+
+
+@pytest.fixture(scope="module")
+def rng():
+    return random.Random(7)
+
+
+def test_encrypt_eps1(kp, rng, benchmark):
+    _, pk = kp
+    benchmark(lambda: pk.encrypt(123456789, rng=rng))
+
+
+def test_encrypt_eps2(kp, rng, benchmark):
+    _, pk = kp
+    benchmark(lambda: pk.encrypt(123456789, s=2, rng=rng))
+
+
+def test_decrypt_eps1(kp, rng, benchmark):
+    sk, pk = kp
+    c = pk.encrypt(987654321, rng=rng)
+    benchmark(lambda: sk.decrypt(c))
+
+
+def test_decrypt_nested(kp, rng, benchmark):
+    sk, pk = kp
+    inner = pk.encrypt(42, rng=rng)
+    outer = pk.encrypt(inner.value, s=2, rng=rng)
+    benchmark(lambda: sk.decrypt_nested(outer))
+
+
+def test_homomorphic_add(kp, rng, benchmark):
+    _, pk = kp
+    a = pk.encrypt(1, rng=rng)
+    b = pk.encrypt(2, rng=rng)
+    benchmark(lambda: hom_add(a, b))
+
+
+def test_scalar_mul_large_exponent(kp, rng, benchmark):
+    """The selection hot path: exponents are answer integers near N."""
+    _, pk = kp
+    c = pk.encrypt(1, rng=rng)
+    scalar = pk.n - 12345
+    benchmark(lambda: hom_scalar_mul(scalar, c))
+
+
+def test_private_selection_100(kp, rng, benchmark):
+    """One row of Theorem 3.1 at the paper's default delta' ~ 100."""
+    _, pk = kp
+    indicator = encrypt_indicator(pk, 100, 42, rng=rng)
+    row = [rng.randrange(pk.n) for _ in range(100)]
+    benchmark(lambda: matrix_select([row], indicator))
+
+
+def test_keygen(settings, benchmark):
+    counter = iter(range(10_000))
+    benchmark(lambda: generate_keypair(settings.keysize, seed=90_000 + next(counter)))

@@ -1,0 +1,89 @@
+"""Table 2: empirical validation of the cost asymptotics.
+
+The paper's analysis (Section 7) predicts, as functions of delta':
+
+- PPGNN indicator communication:      O(delta')      * L_e
+- PPGNN-OPT indicator communication:  O(sqrt(delta')) * L_e
+- LSP private-selection work:         O(delta' * k)  homomorphic ops
+  (+ O(sqrt(delta') * k) extra for OPT's second phase)
+- user encryption work:               O(delta') / O(sqrt(delta')) ops
+
+We verify by measuring *deterministic* quantities — message bytes and
+homomorphic operation counts — across a delta sweep and fitting the log-log
+slope: linear terms must fit slope ~1.0 and sqrt terms slope ~0.5.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+from repro.core.group import run_ppgnn
+from repro.core.opt import run_ppgnn_opt
+from repro.protocol.metrics import COORDINATOR, LSP
+
+DELTA_VALUES = [25, 50, 100, 200, 400]
+
+
+def _loglog_slope(xs, ys):
+    lx = np.log(np.array(xs, dtype=float))
+    ly = np.log(np.array(ys, dtype=float))
+    slope, _ = np.polyfit(lx, ly, 1)
+    return float(slope)
+
+
+def test_table2_scaling(lsp, settings, config_factory, recorder, benchmark):
+    group = lsp.space.sample_points(8, np.random.default_rng(settings.seed))
+    plain_indicator_bytes = []
+    opt_indicator_bytes = []
+    plain_lsp_ops = []
+    opt_user_encs = []
+    plain_user_encs = []
+    delta_primes = []
+    for delta in DELTA_VALUES:
+        cfg = config_factory(delta=delta, theta0=None, sanitize=False, d=25)
+        plain = run_ppgnn(lsp, group, cfg, seed=settings.seed)
+        opt = run_ppgnn_opt(lsp, group, cfg, seed=settings.seed)
+        delta_primes.append(plain.delta_prime)
+        plain_indicator_bytes.append(plain.report.link_bytes(COORDINATOR, LSP))
+        opt_indicator_bytes.append(opt.report.link_bytes(COORDINATOR, LSP))
+        plain_lsp_ops.append(plain.report.ops_by_role[LSP].total)
+        plain_user_encs.append(plain.report.ops_by_role[COORDINATOR].encryptions)
+        opt_user_encs.append(opt.report.ops_by_role[COORDINATOR].encryptions)
+
+    slopes = {
+        "PPGNN indicator bytes (theory 1.0)": _loglog_slope(
+            delta_primes, plain_indicator_bytes
+        ),
+        "PPGNN-OPT indicator bytes (theory 0.5)": _loglog_slope(
+            delta_primes, opt_indicator_bytes
+        ),
+        "PPGNN LSP hom. ops (theory 1.0)": _loglog_slope(delta_primes, plain_lsp_ops),
+        "PPGNN user encryptions (theory 1.0)": _loglog_slope(
+            delta_primes, plain_user_encs
+        ),
+        "PPGNN-OPT user encryptions (theory 0.5)": _loglog_slope(
+            delta_primes, opt_user_encs
+        ),
+    }
+    recorder.record(
+        "table2",
+        "Table 2: measured log-log scaling exponents vs delta'",
+        "quantity",
+        list(slopes.keys()),
+        {"slope": [f"{v:.3f}" for v in slopes.values()]},
+        notes=f"delta' sweep: {delta_primes}",
+    )
+    # The fits must land near the theory (request bytes include constant
+    # terms such as the location sets, so allow slack below the exponent).
+    assert 0.7 <= slopes["PPGNN indicator bytes (theory 1.0)"] <= 1.05
+    assert 0.25 <= slopes["PPGNN-OPT indicator bytes (theory 0.5)"] <= 0.75
+    assert 0.8 <= slopes["PPGNN LSP hom. ops (theory 1.0)"] <= 1.2
+    assert 0.85 <= slopes["PPGNN user encryptions (theory 1.0)"] <= 1.1
+    assert 0.3 <= slopes["PPGNN-OPT user encryptions (theory 0.5)"] <= 0.7
+
+    cfg = config_factory(theta0=None, sanitize=False)
+    benchmark.pedantic(
+        lambda: run_ppgnn(lsp, group, cfg, seed=1), rounds=1, iterations=1
+    )

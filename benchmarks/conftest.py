@@ -1,0 +1,68 @@
+"""Shared benchmark fixtures.
+
+Every experiment runs against one session-wide LSP built over the Sequoia
+surrogate at the scale chosen via REPRO_BENCH_* environment variables (see
+:class:`repro.bench.harness.BenchSettings`).  Figure series are printed and
+persisted under ``benchmarks/results/``.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import pytest
+
+from repro.bench.harness import BenchSettings
+from repro.bench.recorder import SeriesRecorder
+from repro.core.config import PPGNNConfig
+from repro.core.lsp import LSPServer
+from repro.datasets.sequoia import load_sequoia
+
+
+@pytest.fixture(scope="session")
+def settings() -> BenchSettings:
+    return BenchSettings.from_env()
+
+
+@pytest.fixture(scope="session")
+def pois(settings):
+    return load_sequoia(settings.pois)
+
+
+@pytest.fixture(scope="session")
+def lsp(settings, pois) -> LSPServer:
+    return LSPServer(
+        pois,
+        sanitation_samples=settings.sanitation_samples,
+        seed=settings.seed,
+    )
+
+
+@pytest.fixture(scope="session")
+def recorder() -> SeriesRecorder:
+    return SeriesRecorder(Path(__file__).parent / "results")
+
+
+def make_config(settings: BenchSettings, **overrides) -> PPGNNConfig:
+    """Paper Table 3 defaults at the session's key size."""
+    parameters = dict(
+        d=25,
+        delta=100,
+        k=8,
+        theta0=0.05,
+        keysize=settings.keysize,
+        sanitation_samples=settings.sanitation_samples,
+        key_seed=settings.seed,
+    )
+    parameters.update(overrides)
+    return PPGNNConfig(**parameters)
+
+
+@pytest.fixture(scope="session")
+def config_factory(settings):
+    """Build a config with Table 3 defaults plus per-experiment overrides."""
+
+    def factory(**overrides) -> PPGNNConfig:
+        return make_config(settings, **overrides)
+
+    return factory

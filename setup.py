@@ -1,0 +1,8 @@
+"""Legacy setup shim: the build environment has no `wheel` package, so the
+PEP-517 editable path (`pip install -e .`) cannot build an editable wheel.
+`python setup.py develop` installs the same editable package without it.
+All metadata lives in pyproject.toml.
+"""
+from setuptools import setup
+
+setup()

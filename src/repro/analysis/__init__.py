@@ -1,0 +1,24 @@
+"""Closed-form cost analysis.
+
+Table 2 of the paper gives asymptotic costs; this package sharpens them to
+*exact* byte-level predictions derived from the message definitions, so a
+deployment can size its parameters before sending a single ciphertext —
+and so tests can assert that the simulated ledger matches the theory to
+the byte.
+"""
+
+from repro.analysis.costmodel import (
+    CommBreakdown,
+    predict_naive_comm,
+    predict_opt_comm,
+    predict_ppgnn_comm,
+    predict_single_comm,
+)
+
+__all__ = [
+    "CommBreakdown",
+    "predict_ppgnn_comm",
+    "predict_opt_comm",
+    "predict_naive_comm",
+    "predict_single_comm",
+]

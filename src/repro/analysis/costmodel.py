@@ -1,0 +1,177 @@
+"""Exact communication-cost predictions for every protocol variant.
+
+Each function mirrors one runner's message sequence and sums the same
+byte-size formulas the messages themselves use, making the ledger's totals
+*predictable* rather than merely measurable:
+
+- PPGNN (Section 4.2): position broadcasts + group request + n location-set
+  uploads + the m-ciphertext answer + the plaintext answer broadcast,
+- PPGNN-OPT (Section 6): the two small indicators replace the long one and
+  the answer returns under eps_2,
+- Naive (Section 4): delta-length uploads and a delta-length indicator,
+- single user (Section 3): one request carrying the location set.
+
+The consistency test (`tests/test_analysis.py`) runs every protocol and
+asserts byte-exact agreement with the simulated ledger — the strongest
+form of the Table 2 analysis.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.core.opt import optimal_omega
+from repro.encoding.answers import AnswerCodec
+from repro.errors import ConfigurationError
+from repro.geometry.space import LocationSpace
+from repro.partition.solver import solve_partition
+
+_INT = 4
+_LOCATION = 16
+_FLOAT = 8
+_POI = 8
+
+
+def _cipher_bytes(keysize: int, s: int) -> int:
+    return ((s + 1) * keysize + 7) // 8
+
+
+def _answer_integers(keysize: int, k: int) -> int:
+    """m, the integers per encoded answer (field widths are space-free)."""
+    return AnswerCodec(keysize, k, LocationSpace.unit_square()).m
+
+
+@dataclass(frozen=True, slots=True)
+class CommBreakdown:
+    """Per-component communication bytes of one protocol round."""
+
+    position_broadcasts: int
+    request: int
+    uploads: int
+    encrypted_answer: int
+    answer_broadcast: int
+
+    @property
+    def total(self) -> int:
+        return (
+            self.position_broadcasts
+            + self.request
+            + self.uploads
+            + self.encrypted_answer
+            + self.answer_broadcast
+        )
+
+
+def predict_ppgnn_comm(
+    n: int,
+    d: int,
+    delta: int,
+    k: int,
+    keysize: int,
+    answer_len: int | None = None,
+) -> CommBreakdown:
+    """Exact bytes of one PPGNN round.
+
+    ``answer_len`` is the post-sanitation POI count t (defaults to k, the
+    PPGNN-NAS case); it only affects the final plaintext broadcast.
+    """
+    params = solve_partition(n, d, delta)
+    t = k if answer_len is None else answer_len
+    if t > k:
+        raise ConfigurationError("answer length cannot exceed k")
+    l1 = _cipher_bytes(keysize, 1)
+    m = _answer_integers(keysize, k)
+    request = (
+        _INT
+        + keysize // 8
+        + _INT * (params.alpha + params.beta)
+        + params.delta_prime * l1
+        + _FLOAT
+    )
+    return CommBreakdown(
+        position_broadcasts=n * _INT,
+        request=request,
+        uploads=n * (_INT + _LOCATION * d),
+        encrypted_answer=m * l1,
+        answer_broadcast=(n - 1) * (_INT + _POI * t),
+    )
+
+
+def predict_opt_comm(
+    n: int,
+    d: int,
+    delta: int,
+    k: int,
+    keysize: int,
+    answer_len: int | None = None,
+    omega: int | None = None,
+) -> CommBreakdown:
+    """Exact bytes of one PPGNN-OPT round (two-phase selection)."""
+    params = solve_partition(n, d, delta)
+    t = k if answer_len is None else answer_len
+    if t > k:
+        raise ConfigurationError("answer length cannot exceed k")
+    block_count = omega if omega is not None else optimal_omega(params.delta_prime)
+    block_width = math.ceil(params.delta_prime / block_count)
+    l1 = _cipher_bytes(keysize, 1)
+    l2 = _cipher_bytes(keysize, 2)
+    m = _answer_integers(keysize, k)
+    request = (
+        _INT
+        + keysize // 8
+        + _INT * (params.alpha + params.beta)
+        + block_width * l1
+        + block_count * l2
+        + _FLOAT
+    )
+    return CommBreakdown(
+        position_broadcasts=n * _INT,
+        request=request,
+        uploads=n * (_INT + _LOCATION * d),
+        encrypted_answer=m * l2,
+        answer_broadcast=(n - 1) * (_INT + _POI * t),
+    )
+
+
+def predict_naive_comm(
+    n: int,
+    delta: int,
+    k: int,
+    keysize: int,
+    answer_len: int | None = None,
+) -> CommBreakdown:
+    """Exact bytes of one Naive round (delta-length sets, aligned slots)."""
+    t = k if answer_len is None else answer_len
+    if t > k:
+        raise ConfigurationError("answer length cannot exceed k")
+    l1 = _cipher_bytes(keysize, 1)
+    m = _answer_integers(keysize, k)
+    request = (
+        _INT
+        + keysize // 8
+        + _INT * (1 + delta)  # alpha = 1 subgroup, delta singleton segments
+        + delta * l1
+        + _FLOAT
+    )
+    return CommBreakdown(
+        position_broadcasts=n * _INT,
+        request=request,
+        uploads=n * (_INT + _LOCATION * delta),
+        encrypted_answer=m * l1,
+        answer_broadcast=(n - 1) * (_INT + _POI * t),
+    )
+
+
+def predict_single_comm(d: int, k: int, keysize: int) -> CommBreakdown:
+    """Exact bytes of one single-user round (Section 3.2)."""
+    l1 = _cipher_bytes(keysize, 1)
+    m = _answer_integers(keysize, k)
+    request = _INT + keysize // 8 + _LOCATION * d + d * l1
+    return CommBreakdown(
+        position_broadcasts=0,
+        request=request,
+        uploads=0,
+        encrypted_answer=m * l1,
+        answer_broadcast=0,
+    )

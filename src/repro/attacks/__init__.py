@@ -1,0 +1,10 @@
+"""Attack implementations the protocol defends against.
+
+Currently the inequality attack of Section 5.1: n - 1 colluding users
+exploit the ranking of the returned POIs to carve out the feasible region
+of the remaining user's location.
+"""
+
+from repro.attacks.inequality import AttackResult, inequality_attack
+
+__all__ = ["AttackResult", "inequality_attack"]

@@ -1,0 +1,138 @@
+"""The inequality attack of Section 5.1, from the colluders' perspective.
+
+Given the ranked answer ``p_1, ..., p_t`` and the n - 1 known locations,
+the colluding users know that the unknown location ``l`` must satisfy
+
+    F(p_i, {l} + known) <= F(p_{i+1}, {l} + known)   for 1 <= i < t,
+
+because F is evaluated over the full group and the returned POIs are in
+ascending aggregate order.  The solution region of these t - 1 inequalities
+is where the victim can hide.  This module estimates that region by
+Monte-Carlo (the same machinery the LSP-side sanitation uses, but run by
+the adversary) and reports its relative size theta-hat, which tests and
+the demo example compare against the privacy parameter theta_0.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+from repro.geometry.distance import distance_matrix
+from repro.geometry.point import Point
+from repro.geometry.rect import Rect
+from repro.geometry.space import LocationSpace
+from repro.gnn.aggregate import Aggregate
+
+
+@dataclass(frozen=True)
+class AttackResult:
+    """Outcome of one inequality attack against one target user."""
+
+    theta_estimate: float
+    samples_inside: int
+    total_samples: int
+    feasible_box: Rect | None
+    contains_target: bool | None
+
+    def succeeded(self, theta0: float) -> bool:
+        """Paper semantics: the attack succeeds when the region is <= theta_0."""
+        return self.theta_estimate <= theta0
+
+
+def inequality_attack(
+    ranked_answer: Sequence[Point],
+    known_locations: Sequence[Point],
+    space: LocationSpace,
+    aggregate: Aggregate,
+    n_samples: int = 20_000,
+    rng: np.random.Generator | None = None,
+    true_target: Point | None = None,
+) -> AttackResult:
+    """Estimate the feasible region of the victim's location.
+
+    Parameters
+    ----------
+    ranked_answer:
+        The POI locations as returned (already sanitized or not), in rank
+        order.
+    known_locations:
+        The colluders' own locations (n - 1 of them; may be empty when
+        n = 1, in which case the attack degenerates to the kNN ordering
+        constraint).
+    true_target:
+        Optional ground truth; when given, the result reports whether the
+        estimated region contains it (it always should — the attack's
+        inequalities are sound).
+    """
+    if not ranked_answer:
+        raise ConfigurationError("cannot attack an empty answer")
+    rng = rng or np.random.default_rng()
+    xs, ys = space.sample_arrays(n_samples, rng)
+    inside = _feasible_mask(xs, ys, ranked_answer, known_locations, aggregate)
+    count = int(inside.sum())
+    feasible_box = None
+    if count:
+        feasible_box = Rect(
+            float(xs[inside].min()),
+            float(ys[inside].min()),
+            float(xs[inside].max()),
+            float(ys[inside].max()),
+        )
+    contains = None
+    if true_target is not None:
+        contains = _point_feasible(true_target, ranked_answer, known_locations, aggregate)
+    return AttackResult(
+        theta_estimate=count / n_samples,
+        samples_inside=count,
+        total_samples=n_samples,
+        feasible_box=feasible_box,
+        contains_target=contains,
+    )
+
+
+def _feasible_mask(
+    xs: np.ndarray,
+    ys: np.ndarray,
+    ranked_answer: Sequence[Point],
+    known_locations: Sequence[Point],
+    aggregate: Aggregate,
+) -> np.ndarray:
+    """Boolean mask of sample locations satisfying every ranking inequality."""
+    sample_dists = distance_matrix(xs, ys, list(ranked_answer))
+    if aggregate.decomposable and known_locations:
+        partials = np.array(
+            [
+                aggregate.partial(loc.distance_to(p) for loc in known_locations)  # type: ignore[misc]
+                for p in ranked_answer
+            ]
+        )
+        values = aggregate.merge(sample_dists, partials[None, :])  # type: ignore[misc]
+    elif not known_locations:
+        values = sample_dists
+    else:
+        values = np.empty_like(sample_dists)
+        for j, p in enumerate(ranked_answer):
+            rows = np.empty((len(xs), len(known_locations) + 1))
+            rows[:, 0] = sample_dists[:, j]
+            for idx, loc in enumerate(known_locations):
+                rows[:, idx + 1] = loc.distance_to(p)
+            values[:, j] = aggregate.combine_rows(rows)
+    if values.shape[1] == 1:
+        return np.ones(len(xs), dtype=bool)
+    return np.all(values[:, :-1] <= values[:, 1:], axis=1)
+
+
+def _point_feasible(
+    point: Point,
+    ranked_answer: Sequence[Point],
+    known_locations: Sequence[Point],
+    aggregate: Aggregate,
+) -> bool:
+    """Whether one specific location satisfies the attack inequalities."""
+    group = [point, *known_locations]
+    costs = [aggregate(q.distance_to(p) for q in group) for p in ranked_answer]
+    return all(costs[i] <= costs[i + 1] for i in range(len(costs) - 1))

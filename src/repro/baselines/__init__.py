@@ -1,0 +1,23 @@
+"""Baseline approaches the paper compares against (Section 8).
+
+- :mod:`~repro.baselines.apnn` — APNN [36] (Yi et al. 2016), the n = 1
+  baseline: grid precomputation + private retrieval; approximate answers.
+- :mod:`~repro.baselines.ippf` — IPPF [14] (Hashem et al. 2010), the first
+  group baseline: cloak rectangles, LSP returns a candidate superset that
+  users filter — violating Privacy III and IV.
+- :mod:`~repro.baselines.glp` — GLP [2] (Ashouri-Talouki et al. 2012):
+  secure-multiparty centroid + plaintext kNN — violating Privacy II and IV.
+
+These are re-implementations from the cited papers' descriptions at the
+fidelity the evaluation requires: each reproduces its documented cost
+structure (candidate supersets, O(n^2) ciphertext exchanges, precomputed
+grids) and answer semantics (exact superset vs approximate), which is what
+Figures 5 and 8 measure.
+"""
+
+from repro.baselines.apnn import APNNServer, run_apnn
+from repro.baselines.glp import run_glp
+from repro.baselines.ippf import run_ippf
+from repro.baselines.result import BaselineResult
+
+__all__ = ["BaselineResult", "APNNServer", "run_apnn", "run_ippf", "run_glp"]

@@ -1,0 +1,28 @@
+"""Result shape shared by the baseline protocols."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any
+
+from repro.datasets.poi import POI
+from repro.protocol.metrics import CostReport
+
+
+@dataclass(frozen=True)
+class BaselineResult:
+    """A baseline run: the answers users end with, plus costs and extras.
+
+    ``answers`` are POIs in rank order (for IPPF, after the user-side
+    filtering step; for APNN/GLP, the approximate answers).  ``extras``
+    carries protocol-specific diagnostics, e.g. IPPF's candidate-set size.
+    """
+
+    protocol: str
+    answers: tuple[POI, ...]
+    report: CostReport
+    extras: dict[str, Any] = field(default_factory=dict)
+
+    @property
+    def answer_ids(self) -> tuple[int, ...]:
+        return tuple(p.poi_id for p in self.answers)

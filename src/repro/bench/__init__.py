@@ -1,0 +1,27 @@
+"""Benchmark harness utilities.
+
+The actual experiments live in ``benchmarks/`` (one module per paper table
+or figure); this package holds the shared machinery: environment-tunable
+settings, cost measurement over repeated protocol runs, and plain-text
+table rendering that prints the same series the paper plots.
+"""
+
+from repro.bench.harness import (
+    BenchSettings,
+    MeasuredCosts,
+    average_runs,
+    format_bytes,
+    format_seconds,
+    measure_protocol,
+    print_series_table,
+)
+
+__all__ = [
+    "BenchSettings",
+    "MeasuredCosts",
+    "measure_protocol",
+    "average_runs",
+    "print_series_table",
+    "format_bytes",
+    "format_seconds",
+]

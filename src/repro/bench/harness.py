@@ -1,0 +1,159 @@
+"""Measurement and reporting helpers for the paper-reproduction benchmarks.
+
+The paper reports, for each parameter sweep, the average over repeated
+queries of three quantities: total communication cost, total user
+computation, and LSP computation (Section 8.1).  :func:`measure_protocol`
+runs any protocol callable over fresh random groups and averages those
+three series; :func:`print_series_table` renders them in the layout
+EXPERIMENTS.md records.
+
+Scale knobs come from the environment so the full suite can run both as a
+quick smoke pass and as a paper-faithful (slow) pass:
+
+- ``REPRO_BENCH_POIS``     database size        (default 20000)
+- ``REPRO_BENCH_KEYSIZE``  Paillier modulus bits (default 256)
+- ``REPRO_BENCH_REPEATS``  queries per point     (default 3)
+- ``REPRO_BENCH_SAMPLES``  sanitation N_H cap    (default 0 = exact Eqn 17)
+
+The paper's setup is 62 556 POIs, 1024-bit keys, 500 queries per point;
+absolute times scale accordingly but every reported *shape* (orderings,
+crossovers, growth rates) is keysize- and size-stable because all competing
+protocols share the same primitives.
+"""
+
+from __future__ import annotations
+
+import os
+import statistics
+from dataclasses import dataclass, field
+from typing import Callable, Iterable, Sequence
+
+from repro.protocol.metrics import CostReport
+
+
+@dataclass(frozen=True)
+class BenchSettings:
+    """Scale parameters for a benchmark session."""
+
+    pois: int = 20_000
+    keysize: int = 256
+    repeats: int = 3
+    sanitation_samples: int | None = None
+    seed: int = 20180326
+
+    @classmethod
+    def from_env(cls) -> "BenchSettings":
+        """Read the REPRO_BENCH_* environment overrides."""
+        samples = int(os.environ.get("REPRO_BENCH_SAMPLES", "0"))
+        return cls(
+            pois=int(os.environ.get("REPRO_BENCH_POIS", "20000")),
+            keysize=int(os.environ.get("REPRO_BENCH_KEYSIZE", "256")),
+            repeats=int(os.environ.get("REPRO_BENCH_REPEATS", "3")),
+            sanitation_samples=samples if samples > 0 else None,
+            seed=int(os.environ.get("REPRO_BENCH_SEED", "20180326")),
+        )
+
+
+@dataclass
+class MeasuredCosts:
+    """Averaged costs of one protocol at one sweep point."""
+
+    comm_bytes: float
+    user_seconds: float
+    lsp_seconds: float
+    answer_lengths: list[int] = field(default_factory=list)
+    extras: dict = field(default_factory=dict)
+
+    @property
+    def mean_answer_length(self) -> float:
+        """Average POIs returned per answer (the Figure 7 metric)."""
+        return statistics.mean(self.answer_lengths) if self.answer_lengths else 0.0
+
+
+def average_runs(
+    reports: Sequence[CostReport], answer_lengths: Sequence[int]
+) -> MeasuredCosts:
+    """Collapse repeated runs into their means."""
+    return MeasuredCosts(
+        comm_bytes=statistics.mean(r.total_comm_bytes for r in reports),
+        user_seconds=statistics.mean(r.user_cost_seconds for r in reports),
+        lsp_seconds=statistics.mean(r.lsp_cost_seconds for r in reports),
+        answer_lengths=list(answer_lengths),
+    )
+
+
+def measure_protocol(
+    run: Callable[[int], object],
+    repeats: int,
+    base_seed: int = 0,
+) -> MeasuredCosts:
+    """Run ``run(seed)`` ``repeats`` times and average its cost report.
+
+    ``run`` must return an object with ``report`` (a
+    :class:`~repro.protocol.metrics.CostReport`) and ``answers`` — both
+    :class:`~repro.core.result.ProtocolResult` and
+    :class:`~repro.baselines.result.BaselineResult` qualify.
+    """
+    reports = []
+    lengths = []
+    extras: dict = {}
+    for i in range(repeats):
+        result = run(base_seed + i)
+        reports.append(result.report)  # type: ignore[attr-defined]
+        lengths.append(len(result.answers))  # type: ignore[attr-defined]
+        for key, value in getattr(result, "extras", {}).items():
+            extras.setdefault(key, []).append(value)
+    measured = average_runs(reports, lengths)
+    measured.extras = extras
+    return measured
+
+
+def format_bytes(value: float) -> str:
+    """Human-readable byte count."""
+    if value >= 1 << 20:
+        return f"{value / (1 << 20):.2f} MiB"
+    if value >= 1 << 10:
+        return f"{value / (1 << 10):.2f} KiB"
+    return f"{value:.0f} B"
+
+
+def format_seconds(value: float) -> str:
+    """Human-readable duration."""
+    if value >= 1.0:
+        return f"{value:.2f} s"
+    return f"{value * 1000:.2f} ms"
+
+
+def print_series_table(
+    title: str,
+    x_label: str,
+    xs: Sequence,
+    series: dict[str, Iterable[str]],
+) -> None:
+    """Print one figure's data as an aligned text table.
+
+    ``series`` maps a row label (protocol name) to its formatted values,
+    one per x.  The output mirrors the figure's series so EXPERIMENTS.md
+    can quote it directly.
+    """
+    rows = {label: list(values) for label, values in series.items()}
+    width = max(
+        [len(x_label)] + [len(label) for label in rows]
+    )
+    col_widths = [
+        max([len(str(x))] + [len(row[i]) for row in rows.values()])
+        for i, x in enumerate(xs)
+    ]
+    print()
+    print(f"=== {title} ===")
+    header = x_label.ljust(width) + " | " + " | ".join(
+        str(x).rjust(w) for x, w in zip(xs, col_widths)
+    )
+    print(header)
+    print("-" * len(header))
+    for label, values in rows.items():
+        print(
+            label.ljust(width)
+            + " | "
+            + " | ".join(v.rjust(w) for v, w in zip(values, col_widths))
+        )

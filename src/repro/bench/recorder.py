@@ -1,0 +1,56 @@
+"""Persistence for benchmark series: print to stdout and append to files.
+
+``pytest`` captures stdout, so the figure benches also write every series
+table into ``benchmarks/results/<experiment>.txt``; EXPERIMENTS.md quotes
+those files.  Each run overwrites its experiment's file (the recorder
+truncates on first write per experiment per session).
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import Sequence
+
+from repro.bench.harness import print_series_table
+
+
+class SeriesRecorder:
+    """Writes experiment series to ``<directory>/<experiment>.txt``."""
+
+    def __init__(self, directory: str | Path) -> None:
+        self.directory = Path(directory)
+        self.directory.mkdir(parents=True, exist_ok=True)
+        self._opened: set[str] = set()
+
+    def _path(self, experiment: str) -> Path:
+        return self.directory / f"{experiment}.txt"
+
+    def record(
+        self,
+        experiment: str,
+        title: str,
+        x_label: str,
+        xs: Sequence,
+        series: dict[str, list[str]],
+        notes: str | None = None,
+    ) -> None:
+        """Print one series table and append it to the experiment's file."""
+        print_series_table(title, x_label, xs, series)
+        mode = "a" if experiment in self._opened else "w"
+        self._opened.add(experiment)
+        with open(self._path(experiment), mode) as handle:
+            handle.write(f"=== {title} ===\n")
+            handle.write(f"{x_label}: {list(xs)}\n")
+            for label, values in series.items():
+                handle.write(f"{label}: {values}\n")
+            if notes:
+                handle.write(f"note: {notes}\n")
+            handle.write("\n")
+
+    def note(self, experiment: str, text: str) -> None:
+        """Append a free-form note line."""
+        mode = "a" if experiment in self._opened else "w"
+        self._opened.add(experiment)
+        with open(self._path(experiment), mode) as handle:
+            handle.write(text.rstrip() + "\n")
+        print(text)

@@ -1,0 +1,191 @@
+"""Command-line interface.
+
+Installed as the ``repro`` console script:
+
+- ``repro info``    — library, parameter, and paper metadata,
+- ``repro query``   — run one privacy-preserving (group) kNN query with
+  chosen privacy parameters and print the answer plus the cost report,
+- ``repro attack``  — run the full-collusion inequality attack against a
+  sanitized and an unsanitized answer, side by side,
+- ``repro solve``   — solve the partition parameters for an (n, d, delta)
+  triple (Eqns 7-10) and print the layout.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Sequence
+
+import numpy as np
+
+from repro import __version__
+from repro.attacks.inequality import inequality_attack
+from repro.bench.harness import format_bytes, format_seconds
+from repro.core.config import PPGNNConfig
+from repro.core.group import random_group, run_ppgnn
+from repro.core.lsp import LSPServer
+from repro.core.naive import run_naive
+from repro.core.opt import run_ppgnn_opt
+from repro.core.single import run_single_user
+from repro.datasets.sequoia import load_sequoia
+from repro.errors import ReproError
+from repro.partition.solver import solve_partition
+
+_PROTOCOLS = {
+    "ppgnn": run_ppgnn,
+    "opt": run_ppgnn_opt,
+    "naive": run_naive,
+}
+
+
+def _add_common_query_args(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--pois", type=int, default=10_000, help="database size")
+    parser.add_argument("--n", type=int, default=8, help="group size")
+    parser.add_argument("--d", type=int, default=25, help="Privacy I parameter")
+    parser.add_argument("--delta", type=int, default=100, help="Privacy II parameter")
+    parser.add_argument("--k", type=int, default=8, help="POIs to retrieve")
+    parser.add_argument(
+        "--theta0", type=float, default=0.05, help="Privacy IV parameter"
+    )
+    parser.add_argument("--keysize", type=int, default=256, help="Paillier bits")
+    parser.add_argument("--seed", type=int, default=1, help="randomness seed")
+    parser.add_argument(
+        "--aggregate", default="sum", choices=["sum", "max", "min"], help="F"
+    )
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """Construct the argparse tree for the `repro` console script."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Privacy Preserving Group Nearest Neighbor Search (EDBT 2018)",
+    )
+    parser.add_argument("--version", action="version", version=f"repro {__version__}")
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("info", help="show library and paper metadata")
+
+    query = sub.add_parser("query", help="run one privacy-preserving query")
+    _add_common_query_args(query)
+    query.add_argument(
+        "--protocol",
+        default="ppgnn",
+        choices=sorted(_PROTOCOLS) + ["nas"],
+        help="protocol variant",
+    )
+
+    attack = sub.add_parser("attack", help="demonstrate the collusion attack")
+    _add_common_query_args(attack)
+    attack.add_argument(
+        "--samples", type=int, default=20_000, help="attack Monte-Carlo samples"
+    )
+
+    solve = sub.add_parser("solve", help="solve the partition parameters")
+    solve.add_argument("--n", type=int, required=True)
+    solve.add_argument("--d", type=int, required=True)
+    solve.add_argument("--delta", type=int, required=True)
+    return parser
+
+
+def _build_config(args: argparse.Namespace, sanitize: bool = True) -> PPGNNConfig:
+    return PPGNNConfig(
+        d=args.d,
+        delta=args.delta,
+        k=args.k,
+        theta0=args.theta0,
+        sanitize=sanitize,
+        keysize=args.keysize,
+        aggregate_name=args.aggregate,
+        key_seed=args.seed,
+    )
+
+
+def _cmd_info(_: argparse.Namespace) -> int:
+    print(f"repro {__version__}")
+    print("Reproduction of: Privacy Preserving Group Nearest Neighbor Search")
+    print("                 (Wu, Wang, Zhang, Lin, Chen — EDBT 2018)")
+    print("Protocols: ppgnn, ppgnn-opt, naive, ppgnn-nas, single-user")
+    print("Baselines: apnn, ippf, glp")
+    print("Defaults (paper Table 3): d=25 delta=100 k=8 n=8 theta0=0.05")
+    return 0
+
+
+def _cmd_query(args: argparse.Namespace) -> int:
+    sanitize = args.protocol != "nas" and args.n > 1
+    config = _build_config(args, sanitize=sanitize)
+    runner = _PROTOCOLS.get(args.protocol, run_ppgnn)
+    lsp = LSPServer(
+        load_sequoia(args.pois), aggregate_name=args.aggregate, seed=args.seed
+    )
+    print(f"database: {args.pois} POIs; protocol: {args.protocol}; n={args.n}")
+    if args.n == 1:
+        location = lsp.space.sample_point(np.random.default_rng(args.seed))
+        result = run_single_user(lsp, location, config, seed=args.seed)
+    else:
+        group = random_group(args.n, lsp.space, np.random.default_rng(args.seed))
+        result = runner(lsp, group, config, seed=args.seed)
+    print(f"answer ({len(result.answers)} of k={args.k} POIs):")
+    for rank, answer in enumerate(result.answers, start=1):
+        print(f"  {rank}. {lsp.engine.poi_by_id(answer.poi_id)}")
+    report = result.report
+    print(f"candidate queries : {result.delta_prime}")
+    print(f"communication     : {format_bytes(report.total_comm_bytes)}")
+    print(f"user computation  : {format_seconds(report.user_cost_seconds)}")
+    print(f"LSP computation   : {format_seconds(report.lsp_cost_seconds)}")
+    return 0
+
+
+def _cmd_attack(args: argparse.Namespace) -> int:
+    lsp = LSPServer(
+        load_sequoia(args.pois), aggregate_name=args.aggregate, seed=args.seed
+    )
+    group = random_group(max(args.n, 2), lsp.space, np.random.default_rng(args.seed))
+    for label, sanitize in (("without sanitation", False), ("with sanitation", True)):
+        config = _build_config(args, sanitize=sanitize)
+        result = run_ppgnn(lsp, group, config, seed=args.seed)
+        outcome = inequality_attack(
+            [a.location for a in result.answers],
+            group[1:],
+            lsp.space,
+            lsp.aggregate,
+            n_samples=args.samples,
+            rng=np.random.default_rng(args.seed),
+            true_target=group[0],
+        )
+        print(
+            f"{label:<20} answers={len(result.answers)} "
+            f"victim region={outcome.theta_estimate:.2%} "
+            f"attack succeeds={outcome.succeeded(args.theta0)}"
+        )
+    return 0
+
+
+def _cmd_solve(args: argparse.Namespace) -> int:
+    params = solve_partition(args.n, args.d, args.delta)
+    print(f"alpha (subgroups)  : {params.alpha}  sizes {params.subgroup_sizes}")
+    print(f"beta (segments)    : {params.beta}  sizes {params.segment_sizes}")
+    print(f"delta' (candidates): {params.delta_prime} (requested {args.delta})")
+    return 0
+
+
+_COMMANDS = {
+    "info": _cmd_info,
+    "query": _cmd_query,
+    "attack": _cmd_attack,
+    "solve": _cmd_solve,
+}
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    """CLI entry point; returns a process exit code."""
+    args = build_parser().parse_args(argv)
+    try:
+        return _COMMANDS[args.command](args)
+    except ReproError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

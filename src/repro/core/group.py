@@ -1,0 +1,147 @@
+"""The PPGNN group protocol (Section 4.2, Algorithms 1 and 2).
+
+One function, :func:`run_ppgnn`, simulates a full round:
+
+1. *Query generation* (Algorithm 1).  The coordinator u_c solves the
+   partition parameters (offline-precomputed, per the paper), draws the
+   placement plan, broadcasts ``pos_j`` to each subgroup, encrypts the
+   indicator vector over the delta' candidate positions, and sends the
+   query to LSP.  Every user independently builds its length-d location set
+   with the real location at the broadcast position and uploads it.
+2. *Query processing* (Algorithm 2).  LSP enumerates the candidate-query
+   list, answers each with the kGNN black box, sanitizes each answer when
+   Privacy IV is on, and privately selects the real query's ciphertext.
+3. *Answer decryption.*  The coordinator decrypts, decodes, and broadcasts
+   the plaintext answer to the other n - 1 users.
+
+Setting ``config.sanitize = False`` yields PPGNN-NAS (Section 8.3.2).
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from repro.core.common import (
+    build_location_set,
+    decrypt_answer,
+    derive_rngs,
+    group_keypair,
+)
+from repro.core.config import PPGNNConfig
+from repro.core.lsp import LSPServer
+from repro.core.result import ProtocolResult
+from repro.crypto.homomorphic import encrypt_indicator
+from repro.encoding.answers import AnswerCodec
+from repro.errors import ConfigurationError
+from repro.geometry.point import Point
+from repro.geometry.space import LocationSpace
+from repro.partition.layout import GroupLayout
+from repro.partition.solver import solve_partition
+from repro.protocol.messages import (
+    GroupQueryRequest,
+    LocationSetUpload,
+    PlaintextAnswerBroadcast,
+    PositionAssignment,
+)
+from repro.protocol.metrics import COORDINATOR, LSP, USER, CostLedger
+
+
+def random_group(
+    n: int, space: LocationSpace, rng: np.random.Generator
+) -> list[Point]:
+    """n user locations drawn uniformly from the space (the paper's workload)."""
+    if n < 1:
+        raise ConfigurationError("a group needs at least one user")
+    return space.sample_points(n, rng)
+
+
+def run_ppgnn(
+    lsp: LSPServer,
+    locations: Sequence[Point],
+    config: PPGNNConfig,
+    seed: int = 0,
+    dummy_generator=None,
+    nonce_pool=None,
+) -> ProtocolResult:
+    """Execute one full PPGNN round and return the answer plus cost report.
+
+    ``dummy_generator`` optionally overrides the uniform dummy model with a
+    strategy from :mod:`repro.dummies`.  ``nonce_pool`` (a
+    :class:`~repro.crypto.noncepool.NoncePool` under the group key) moves
+    the indicator encryption's obfuscation exponentiations offline — the
+    mobile-coordinator optimization; the measured coordinator time then
+    covers only the online phase.
+    """
+    n = len(locations)
+    if n < 1:
+        raise ConfigurationError("a group needs at least one user")
+    ledger = CostLedger()
+    rng, nprng = derive_rngs(seed)
+    keypair = group_keypair(config)  # offline key setup
+    params = solve_partition(n, config.d, config.delta)  # offline precomputation
+    layout = GroupLayout(params)
+    codec = AnswerCodec(config.keysize, config.k, lsp.space)
+
+    # --- Algorithm 1: coordinator side -----------------------------------
+    with ledger.clock(COORDINATOR):
+        plan = layout.plan_placement(rng)
+        if nonce_pool is not None:
+            from repro.crypto.noncepool import pooled_indicator
+
+            indicator = pooled_indicator(
+                nonce_pool, layout.delta_prime, plan.query_index, rng=rng
+            )
+            ledger.counter(COORDINATOR).encryptions += layout.delta_prime
+        else:
+            indicator = encrypt_indicator(
+                keypair.public_key,
+                layout.delta_prime,
+                plan.query_index,
+                rng=rng,
+                counter=ledger.counter(COORDINATOR),
+            )
+        request = GroupQueryRequest(
+            k=config.k,
+            public_key=keypair.public_key,
+            subgroup_sizes=params.subgroup_sizes,
+            segment_sizes=params.segment_sizes,
+            indicator=tuple(indicator),
+            theta0=config.theta0 if config.sanitize else None,
+        )
+    for subgroup, position in enumerate(plan.absolute_positions):
+        message = PositionAssignment(position)
+        for _ in layout.users_of_subgroup(subgroup):
+            ledger.record(COORDINATOR, USER, message)
+    ledger.record(COORDINATOR, LSP, request)
+
+    # --- Algorithm 1: every user uploads its location set ----------------
+    uploads = []
+    for i, real in enumerate(locations):
+        position = plan.absolute_positions[layout.subgroup_of_user(i)]
+        with ledger.clock(USER):
+            location_set = build_location_set(
+                real, position, config.d, lsp.space, nprng, dummy_generator
+            )
+            upload = LocationSetUpload(i, location_set)
+        ledger.record(USER, LSP, upload)
+        uploads.append(upload)
+
+    # --- Algorithm 2: LSP (clocked inside the handler) -------------------
+    encrypted = lsp.answer_group_query(request, uploads, ledger)
+    ledger.record(LSP, COORDINATOR, encrypted)
+
+    # --- Answer decryption and broadcast ----------------------------------
+    answers = decrypt_answer(keypair, codec, encrypted, ledger)
+    broadcast = PlaintextAnswerBroadcast(tuple(answers))
+    ledger.record_broadcast(COORDINATOR, n - 1, broadcast, USER)
+
+    return ProtocolResult(
+        protocol="ppgnn" if config.sanitize else "ppgnn-nas",
+        answers=tuple(answers),
+        report=ledger.report(),
+        delta_prime=layout.delta_prime,
+        m=codec.m,
+        query_index=plan.query_index,
+    )

@@ -1,0 +1,117 @@
+"""The Naive baseline from the opening of Section 4.
+
+Every user generates a location set of length *delta* (not d) and all users
+place their real locations at the same slot; the LSP forms exactly delta
+candidate queries by aligning positions across the n sets.  Structurally
+this is the degenerate partition ``alpha = 1`` (one subgroup) with delta
+segments of size 1 — each segment contributes exactly one candidate and the
+shared relative position is forced to 0 — so the implementation reuses the
+group machinery with that hand-built partition, inheriting all privacy
+behaviour while paying the extra ``(delta - d) * n`` dummy generation and
+transmission the paper criticizes.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.core.common import (
+    build_location_set,
+    decrypt_answer,
+    derive_rngs,
+    group_keypair,
+)
+from repro.core.config import PPGNNConfig
+from repro.core.lsp import LSPServer
+from repro.core.result import ProtocolResult
+from repro.crypto.homomorphic import encrypt_indicator
+from repro.encoding.answers import AnswerCodec
+from repro.errors import ConfigurationError
+from repro.geometry.point import Point
+from repro.partition.layout import GroupLayout
+from repro.partition.solver import PartitionParameters
+from repro.protocol.messages import (
+    GroupQueryRequest,
+    LocationSetUpload,
+    PlaintextAnswerBroadcast,
+    PositionAssignment,
+)
+from repro.protocol.metrics import COORDINATOR, LSP, USER, CostLedger
+
+
+def naive_partition(n: int, delta: int) -> PartitionParameters:
+    """One subgroup, delta singleton segments: the aligned-candidates layout."""
+    return PartitionParameters(
+        subgroup_sizes=(n,),
+        segment_sizes=(1,) * delta,
+        delta_prime=delta,
+    )
+
+
+def run_naive(
+    lsp: LSPServer,
+    locations: Sequence[Point],
+    config: PPGNNConfig,
+    seed: int = 0,
+    dummy_generator=None,
+) -> ProtocolResult:
+    """Execute one Naive-solution round."""
+    n = len(locations)
+    if n < 1:
+        raise ConfigurationError("a group needs at least one user")
+    ledger = CostLedger()
+    rng, nprng = derive_rngs(seed)
+    keypair = group_keypair(config)
+    params = naive_partition(n, config.delta)
+    layout = GroupLayout(params)
+    codec = AnswerCodec(config.keysize, config.k, lsp.space)
+
+    with ledger.clock(COORDINATOR):
+        plan = layout.plan_placement(rng)  # uniform over the delta slots
+        indicator = encrypt_indicator(
+            keypair.public_key,
+            config.delta,
+            plan.query_index,
+            rng=rng,
+            counter=ledger.counter(COORDINATOR),
+        )
+        request = GroupQueryRequest(
+            k=config.k,
+            public_key=keypair.public_key,
+            subgroup_sizes=params.subgroup_sizes,
+            segment_sizes=params.segment_sizes,
+            indicator=tuple(indicator),
+            theta0=config.theta0 if config.sanitize else None,
+        )
+    position = plan.absolute_positions[0]
+    message = PositionAssignment(position)
+    for _ in range(n):
+        ledger.record(COORDINATOR, USER, message)
+    ledger.record(COORDINATOR, LSP, request)
+
+    uploads = []
+    for i, real in enumerate(locations):
+        with ledger.clock(USER):
+            # The naive cost driver: every user pads to delta locations.
+            location_set = build_location_set(
+                real, position, config.delta, lsp.space, nprng, dummy_generator
+            )
+            upload = LocationSetUpload(i, location_set)
+        ledger.record(USER, LSP, upload)
+        uploads.append(upload)
+
+    encrypted = lsp.answer_group_query(request, uploads, ledger)
+    ledger.record(LSP, COORDINATOR, encrypted)
+
+    answers = decrypt_answer(keypair, codec, encrypted, ledger)
+    broadcast = PlaintextAnswerBroadcast(tuple(answers))
+    ledger.record_broadcast(COORDINATOR, n - 1, broadcast, USER)
+
+    return ProtocolResult(
+        protocol="naive",
+        answers=tuple(answers),
+        report=ledger.report(),
+        delta_prime=config.delta,
+        m=codec.m,
+        query_index=plan.query_index,
+    )

@@ -1,0 +1,33 @@
+"""Protocol run results."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.encoding.answers import DecodedAnswer
+from repro.protocol.metrics import CostReport
+
+
+@dataclass(frozen=True)
+class ProtocolResult:
+    """Everything a protocol run produces.
+
+    ``answers`` is what every group member ends up with: the ranked,
+    possibly sanitation-shortened POI list for the *real* query.  The
+    remaining fields are simulation introspection — costs for the benchmark
+    harness and internals (``query_index``, ``delta_prime``) that tests use
+    to check protocol invariants.  A real deployment would expose only
+    ``answers``.
+    """
+
+    protocol: str
+    answers: tuple[DecodedAnswer, ...]
+    report: CostReport
+    delta_prime: int
+    m: int
+    query_index: int
+
+    @property
+    def answer_ids(self) -> tuple[int, ...]:
+        """The returned POI ids, in rank order."""
+        return tuple(a.poi_id for a in self.answers)

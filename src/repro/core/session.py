@@ -1,0 +1,109 @@
+"""Multi-query sessions: amortized setup and aggregated accounting.
+
+A real deployment does not regenerate keys or re-solve the partition
+parameters per query — a group establishes them once (the paper treats
+both as offline work) and then issues many queries.  :class:`QuerySession`
+packages that lifecycle: one key pair, one configuration, per-query seeds
+derived from a session seed, and a running total of the cost reports —
+the shape a downstream application would actually embed.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Sequence
+
+from repro.core.config import PPGNNConfig
+from repro.core.group import run_ppgnn
+from repro.core.lsp import LSPServer
+from repro.core.naive import run_naive
+from repro.core.opt import run_ppgnn_opt
+from repro.core.result import ProtocolResult
+from repro.errors import ConfigurationError
+from repro.geometry.point import Point
+
+_RUNNERS: dict[str, Callable] = {
+    "ppgnn": run_ppgnn,
+    "ppgnn-opt": run_ppgnn_opt,
+    "naive": run_naive,
+}
+
+
+@dataclass
+class SessionTotals:
+    """Accumulated costs across the session's queries."""
+
+    queries: int = 0
+    comm_bytes: int = 0
+    user_seconds: float = 0.0
+    lsp_seconds: float = 0.0
+    answers_returned: int = 0
+
+    def add(self, result: ProtocolResult) -> None:
+        """Fold one protocol result into the running totals."""
+        self.queries += 1
+        self.comm_bytes += result.report.total_comm_bytes
+        self.user_seconds += result.report.user_cost_seconds
+        self.lsp_seconds += result.report.lsp_cost_seconds
+        self.answers_returned += len(result.answers)
+
+    @property
+    def mean_comm_bytes(self) -> float:
+        return self.comm_bytes / self.queries if self.queries else 0.0
+
+    @property
+    def mean_answers(self) -> float:
+        return self.answers_returned / self.queries if self.queries else 0.0
+
+
+@dataclass
+class QuerySession:
+    """A long-lived query relationship between one group shape and one LSP.
+
+    Parameters
+    ----------
+    lsp:
+        The provider to query.
+    config:
+        Privacy/system parameters, fixed for the session.  A ``key_seed``
+        is required: it pins the session key pair so every query reuses it
+        (the offline-setup model).
+    protocol:
+        ``"ppgnn"`` (default), ``"ppgnn-opt"``, or ``"naive"``.
+    seed:
+        Session seed; query i runs with ``seed + i``.
+    """
+
+    lsp: LSPServer
+    config: PPGNNConfig
+    protocol: str = "ppgnn"
+    seed: int = 0
+    totals: SessionTotals = field(default_factory=SessionTotals)
+    history: list[ProtocolResult] = field(default_factory=list)
+
+    def __post_init__(self) -> None:
+        if self.protocol not in _RUNNERS:
+            raise ConfigurationError(
+                f"unknown protocol {self.protocol!r}; known: {sorted(_RUNNERS)}"
+            )
+        if self.config.key_seed is None:
+            raise ConfigurationError(
+                "sessions reuse one key pair; set config.key_seed"
+            )
+
+    def query(self, locations: Sequence[Point]) -> ProtocolResult:
+        """Run one group query and fold its costs into the session totals."""
+        runner = _RUNNERS[self.protocol]
+        result = runner(
+            self.lsp, locations, self.config, seed=self.seed + self.totals.queries
+        )
+        self.totals.add(result)
+        self.history.append(result)
+        return result
+
+    def reset_totals(self) -> SessionTotals:
+        """Start a fresh accounting period; returns the closed one."""
+        closed = self.totals
+        self.totals = SessionTotals()
+        self.history = []
+        return closed

@@ -1,0 +1,43 @@
+"""Cryptographic substrate: generalized Paillier (Damgård–Jurik) cryptosystem.
+
+The paper's private selection (Theorem 3.1) and its two-phase optimization
+(Section 6) are built on the generalized Paillier cryptosystem eps_s of
+Damgard and Jurik [10].  The original evaluation used GMP + libhcs; this
+package is a from-scratch pure-Python implementation with the same
+interface surface:
+
+- :mod:`~repro.crypto.primes` — Miller–Rabin primality and prime generation,
+- :mod:`~repro.crypto.modmath` — egcd / modular inverse / CRT / lcm,
+- :mod:`~repro.crypto.paillier` — ``Gen`` / ``Enc`` / ``Dec`` for any s >= 1,
+- :mod:`~repro.crypto.homomorphic` — the homomorphic operators of Eqns (2)-(4)
+  and the matrix selection of Theorem 3.1, including the nested two-phase
+  selection used by PPGNN-OPT.
+"""
+
+from repro.crypto.homomorphic import (
+    hom_add,
+    hom_dot,
+    hom_scalar_mul,
+    matrix_select,
+    nested_select,
+)
+from repro.crypto.paillier import (
+    Ciphertext,
+    KeyPair,
+    PaillierPrivateKey,
+    PaillierPublicKey,
+    generate_keypair,
+)
+
+__all__ = [
+    "Ciphertext",
+    "KeyPair",
+    "PaillierPublicKey",
+    "PaillierPrivateKey",
+    "generate_keypair",
+    "hom_add",
+    "hom_scalar_mul",
+    "hom_dot",
+    "matrix_select",
+    "nested_select",
+]

@@ -1,0 +1,69 @@
+"""Modular-arithmetic helpers used by the Paillier implementation.
+
+These wrap Python's arbitrary-precision integers; GMP in the paper's C++
+implementation plays the same role.
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.errors import CryptoError
+
+
+def egcd(a: int, b: int) -> tuple[int, int, int]:
+    """Extended Euclid: returns ``(g, x, y)`` with ``a*x + b*y == g == gcd(a, b)``."""
+    old_r, r = a, b
+    old_x, x = 1, 0
+    old_y, y = 0, 1
+    while r:
+        q = old_r // r
+        old_r, r = r, old_r - q * r
+        old_x, x = x, old_x - q * x
+        old_y, y = y, old_y - q * y
+    return old_r, old_x, old_y
+
+
+def invmod(a: int, n: int) -> int:
+    """Modular inverse of ``a`` modulo ``n``.
+
+    Raises :class:`CryptoError` when the inverse does not exist; for Paillier
+    moduli a non-invertible element would reveal a factor of N, so this is
+    genuinely exceptional.
+    """
+    g, x, _ = egcd(a % n, n)
+    if g != 1:
+        raise CryptoError(f"{a} is not invertible modulo {n} (gcd={g})")
+    return x % n
+
+
+def lcm(a: int, b: int) -> int:
+    """Least common multiple."""
+    return abs(a * b) // math.gcd(a, b)
+
+
+def crt_pair(r1: int, m1: int, r2: int, m2: int) -> int:
+    """Solve ``x = r1 (mod m1)`` and ``x = r2 (mod m2)`` for coprime moduli.
+
+    Returns the unique solution in ``[0, m1*m2)``.
+    """
+    g, p, _ = egcd(m1, m2)
+    if g != 1:
+        raise CryptoError("CRT requires coprime moduli")
+    diff = (r2 - r1) % m2
+    return (r1 + m1 * ((diff * p) % m2)) % (m1 * m2)
+
+
+def factorial_inverse_table(max_k: int, modulus: int) -> list[int]:
+    """Inverses of ``k!`` modulo ``modulus`` for ``k`` in ``[0, max_k]``.
+
+    Used by the Damgård–Jurik plaintext-extraction recursion, which divides
+    by small factorials modulo ``N**j``.  All ``k <= max_k`` must be coprime
+    with the modulus — true whenever ``max_k`` is far below N's prime factors.
+    """
+    table = [1] * (max_k + 1)
+    fact = 1
+    for k in range(1, max_k + 1):
+        fact *= k
+        table[k] = invmod(fact, modulus)
+    return table

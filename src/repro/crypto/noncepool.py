@@ -1,0 +1,93 @@
+"""Offline precomputation of encryption nonces.
+
+Paillier encryption costs one cheap ``(1+N)^m`` evaluation plus one
+*expensive* ``r^{N^s} mod N^{s+1}`` exponentiation that does not depend on
+the plaintext.  A mobile coordinator can therefore precompute obfuscation
+factors while idle/charging and spend them at query time — turning the
+dominant user-side cost of query generation (the delta'-long indicator
+encryption, Figure 6b) into an offline expense.
+
+:class:`NoncePool` holds precomputed factors per encryption level;
+:func:`encrypt_with_pool` consumes one per ciphertext and falls back to
+online computation when the pool runs dry (correctness never depends on
+pool state).  The crypto ablation test verifies ciphertext compatibility
+and measures the speedup.
+"""
+
+from __future__ import annotations
+
+import random
+from collections import defaultdict
+
+from repro.crypto.paillier import Ciphertext, PaillierPublicKey
+from repro.errors import ConfigurationError, CryptoError
+
+
+class NoncePool:
+    """A stock of precomputed obfuscation factors ``r^{N^s} mod N^{s+1}``."""
+
+    def __init__(self, public_key: PaillierPublicKey) -> None:
+        self.public_key = public_key
+        self._factors: dict[int, list[int]] = defaultdict(list)
+
+    def available(self, s: int = 1) -> int:
+        """How many factors remain at level ``s``."""
+        return len(self._factors[s])
+
+    def refill(self, count: int, s: int = 1, rng: random.Random | None = None) -> None:
+        """Precompute ``count`` fresh factors at level ``s`` (offline work)."""
+        if count < 0:
+            raise ConfigurationError("refill count must be non-negative")
+        rng = rng or random.Random()
+        pk = self.public_key
+        mod = pk.ciphertext_modulus(s)
+        exponent = pk.n_pow(s)
+        bucket = self._factors[s]
+        for _ in range(count):
+            r = pk.random_unit(rng)
+            bucket.append(pow(r, exponent, mod))
+
+    def take(self, s: int = 1) -> int | None:
+        """Pop one factor, or None when the pool is dry."""
+        bucket = self._factors[s]
+        return bucket.pop() if bucket else None
+
+
+def encrypt_with_pool(
+    pool: NoncePool,
+    plaintext: int,
+    s: int = 1,
+    rng: random.Random | None = None,
+) -> Ciphertext:
+    """Encrypt using a precomputed obfuscation factor when available.
+
+    Ciphertexts are indistinguishable from :meth:`PaillierPublicKey.encrypt`
+    output (same distribution); when the pool is dry the factor is computed
+    online, so callers never need to check pool levels.
+    """
+    pk = pool.public_key
+    mod_plain = pk.plaintext_modulus(s)
+    if not 0 <= plaintext < mod_plain:
+        raise CryptoError(f"plaintext out of range for s={s}")
+    factor = pool.take(s)
+    if factor is None:
+        return pk.encrypt(plaintext, s=s, rng=rng)
+    mod = pk.ciphertext_modulus(s)
+    value = pk.g_pow(plaintext, s) * factor % mod
+    return Ciphertext(value=value, s=s, public_key=pk)
+
+
+def pooled_indicator(
+    pool: NoncePool,
+    length: int,
+    hot_index: int,
+    s: int = 1,
+    rng: random.Random | None = None,
+) -> list[Ciphertext]:
+    """The basis-vector indicator of ``encrypt_indicator``, pool-backed."""
+    if not 0 <= hot_index < length:
+        raise CryptoError(f"hot index {hot_index} out of range [0, {length})")
+    return [
+        encrypt_with_pool(pool, 1 if i == hot_index else 0, s=s, rng=rng)
+        for i in range(length)
+    ]

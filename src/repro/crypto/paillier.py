@@ -1,0 +1,330 @@
+"""Generalized Paillier cryptosystem eps_s of Damgård and Jurik [10].
+
+The scheme is parameterized by ``s >= 1``: plaintexts live in ``Z_{N^s}``
+and ciphertexts in ``Z*_{N^{s+1}}``.  ``s = 1`` is the classic Paillier
+cryptosystem; the paper's PPGNN protocol uses ``s = 1`` throughout, and its
+PPGNN-OPT optimization additionally uses ``s = 2`` so a whole eps_1
+ciphertext fits inside an eps_2 plaintext (Section 6).  Encryption and
+decryption with any ``s`` share the same key pair.
+
+Construction (with the standard ``g = 1 + N`` simplification):
+
+- ``Gen(keysize)``: pick primes p, q of ``keysize/2`` bits, ``N = p*q``,
+  ``lambda = lcm(p-1, q-1)``.
+- ``Enc_s(m)``: ``c = (1+N)^m * r^{N^s}  mod N^{s+1}`` with random
+  ``r in Z*_N``.
+- ``Dec_s(c)``: ``c^lambda mod N^{s+1}`` equals ``(1+N)^{m*lambda}``; the
+  Damgård–Jurik extraction recursion recovers ``m*lambda mod N^s`` which is
+  multiplied by ``lambda^{-1} mod N^s``.
+
+``(1+N)^m`` is computed via the binomial expansion — it has only ``s + 1``
+non-vanishing terms modulo ``N^{s+1}`` — instead of a full modular
+exponentiation, the same trick GMP-based implementations use.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from functools import lru_cache
+from typing import NamedTuple
+
+from repro.crypto.modmath import invmod, lcm
+from repro.crypto.primes import generate_distinct_primes
+from repro.errors import CryptoError
+
+
+@dataclass(frozen=True, slots=True)
+class Ciphertext:
+    """A Damgård–Jurik ciphertext: a value in ``Z*_{N^{s+1}}``.
+
+    Carries the encryption level ``s`` and the public key so homomorphic
+    operators can validate compatibility.  The PPGNN-OPT protocol treats an
+    ``s = 1`` ciphertext *value* as an ``s = 2`` plaintext — accessed via
+    :attr:`value`.
+    """
+
+    value: int
+    s: int
+    public_key: "PaillierPublicKey"
+
+    def __post_init__(self) -> None:
+        if self.s < 1:
+            raise CryptoError("ciphertext level s must be >= 1")
+
+    @property
+    def byte_size(self) -> int:
+        """Wire size of this ciphertext (an element of ``Z_{N^{s+1}}``)."""
+        return self.public_key.ciphertext_bytes(self.s)
+
+    def __add__(self, other: "Ciphertext") -> "Ciphertext":
+        from repro.crypto.homomorphic import hom_add
+
+        return hom_add(self, other)
+
+    def __rmul__(self, scalar: int) -> "Ciphertext":
+        from repro.crypto.homomorphic import hom_scalar_mul
+
+        return hom_scalar_mul(scalar, self)
+
+
+class PaillierPublicKey:
+    """Public key: the modulus N plus cached powers of N."""
+
+    __slots__ = ("n", "_n_powers")
+
+    def __init__(self, n: int) -> None:
+        if n < 15:
+            raise CryptoError("modulus too small")
+        self.n = n
+        self._n_powers: dict[int, int] = {0: 1, 1: n}
+
+    def __eq__(self, other: object) -> bool:
+        return isinstance(other, PaillierPublicKey) and self.n == other.n
+
+    def __hash__(self) -> int:
+        return hash(("PaillierPublicKey", self.n))
+
+    def __repr__(self) -> str:
+        return f"PaillierPublicKey(bits={self.key_bits})"
+
+    @property
+    def key_bits(self) -> int:
+        """Key size in bits (the bit length of N)."""
+        return self.n.bit_length()
+
+    def n_pow(self, e: int) -> int:
+        """``N ** e`` with memoization (moduli are reused constantly)."""
+        cached = self._n_powers.get(e)
+        if cached is None:
+            cached = self.n**e
+            self._n_powers[e] = cached
+        return cached
+
+    def plaintext_modulus(self, s: int = 1) -> int:
+        """The plaintext space modulus ``N^s``."""
+        return self.n_pow(s)
+
+    def ciphertext_modulus(self, s: int = 1) -> int:
+        """The ciphertext space modulus ``N^{s+1}``."""
+        return self.n_pow(s + 1)
+
+    def ciphertext_bytes(self, s: int = 1) -> int:
+        """Wire size in bytes of one level-``s`` ciphertext.
+
+        An eps_1 ciphertext occupies ``2 * keysize / 8`` bytes and an eps_2
+        ciphertext ``3 * keysize / 8`` — the L_e and 2x-L_e lengths of the
+        paper's cost analysis (Sections 6-7).
+        """
+        return ((s + 1) * self.key_bits + 7) // 8
+
+    def g_pow(self, m: int, s: int = 1) -> int:
+        """``(1 + N)^m mod N^{s+1}`` via the s-term binomial expansion.
+
+        Uses ``C(m, i) mod N^{s+1}`` computed iteratively with modular
+        inverses of the (small, N-coprime) integers ``i``.
+        """
+        mod = self.ciphertext_modulus(s)
+        m_mod = m % mod
+        acc = 1
+        coeff = 1
+        n_power = 1
+        for i in range(1, s + 1):
+            coeff = coeff * ((m_mod - i + 1) % mod) % mod
+            coeff = coeff * invmod(i, mod) % mod
+            n_power = n_power * self.n
+            acc = (acc + coeff * n_power) % mod
+        return acc
+
+    def random_unit(self, rng: random.Random) -> int:
+        """A random element of ``Z*_N`` (the encryption nonce r)."""
+        while True:
+            r = rng.randrange(1, self.n)
+            # A unit check via gcd; failure would expose a factor of N and is
+            # astronomically unlikely for honest keys.
+            from math import gcd
+
+            if gcd(r, self.n) == 1:
+                return r
+
+    def encrypt(
+        self,
+        plaintext: int,
+        s: int = 1,
+        rng: random.Random | None = None,
+        secure: bool = True,
+    ) -> Ciphertext:
+        """Encrypt ``plaintext`` under level ``s``.
+
+        ``secure=False`` skips the random-nonce exponentiation (r = 1); the
+        result is deterministic and NOT semantically secure — used only by
+        tests and micro-benchmarks that isolate other costs.
+        """
+        mod_plain = self.plaintext_modulus(s)
+        if not 0 <= plaintext < mod_plain:
+            raise CryptoError(
+                f"plaintext out of range for s={s}: need 0 <= m < N^{s}"
+            )
+        value = self.g_pow(plaintext, s)
+        if secure:
+            rng = rng or random.Random()
+            r = self.random_unit(rng)
+            mod_cipher = self.ciphertext_modulus(s)
+            value = value * pow(r, self.n_pow(s), mod_cipher) % mod_cipher
+        return Ciphertext(value=value, s=s, public_key=self)
+
+    def rerandomize(self, c: Ciphertext, rng: random.Random) -> Ciphertext:
+        """Multiply by a fresh encryption of zero (same plaintext, new nonce)."""
+        if c.public_key != self:
+            raise CryptoError("ciphertext does not belong to this key")
+        mod_cipher = self.ciphertext_modulus(c.s)
+        r = self.random_unit(rng)
+        value = c.value * pow(r, self.n_pow(c.s), mod_cipher) % mod_cipher
+        return Ciphertext(value=value, s=c.s, public_key=self)
+
+
+class PaillierPrivateKey:
+    """Secret key: the factorization of N, plus decryption precomputations."""
+
+    __slots__ = ("public_key", "p", "q", "lam", "_lam_inv_cache", "_crt")
+
+    def __init__(self, public_key: PaillierPublicKey, p: int, q: int) -> None:
+        if p * q != public_key.n:
+            raise CryptoError("p * q does not match the public modulus")
+        if p == q:
+            raise CryptoError("p and q must be distinct")
+        self.public_key = public_key
+        self.p = p
+        self.q = q
+        self.lam = lcm(p - 1, q - 1)
+        self._lam_inv_cache: dict[int, int] = {}
+        self._crt: tuple[int, int, int, int, int] | None = None
+
+    def __repr__(self) -> str:
+        return f"PaillierPrivateKey(bits={self.public_key.key_bits})"
+
+    def _lam_inv(self, s: int) -> int:
+        """``lambda^{-1} mod N^s``, cached per level."""
+        inv = self._lam_inv_cache.get(s)
+        if inv is None:
+            inv = invmod(self.lam, self.public_key.n_pow(s))
+            self._lam_inv_cache[s] = inv
+        return inv
+
+    def _extract(self, u: int, s: int) -> int:
+        """Damgård–Jurik recursion: recover ``m mod N^s`` from ``(1+N)^m``.
+
+        ``u`` must be congruent to 1 modulo N.  Builds the base-N digits of
+        ``m`` one level at a time, correcting with binomial terms (the
+        published decryption algorithm of [10]).
+        """
+        pk = self.public_key
+        n = pk.n
+        # Inverse factorials modulo N^s; reducing them modulo N^j keeps them
+        # correct for every level j <= s.
+        mod_s = pk.n_pow(s)
+        inv_fact = [1] * (s + 1)
+        fact = 1
+        for k in range(2, s + 1):
+            fact *= k
+            inv_fact[k] = invmod(fact, mod_s)
+        m = 0
+        for j in range(1, s + 1):
+            mod_j = pk.n_pow(j)
+            t1 = (u % pk.n_pow(j + 1) - 1) // n  # the L function, exact
+            t2 = m
+            running = m
+            for k in range(2, j + 1):
+                running -= 1
+                t2 = t2 * running % mod_j
+                t1 = (t1 - t2 * pk.n_pow(k - 1) % mod_j * inv_fact[k]) % mod_j
+            m = t1 % mod_j
+        return m
+
+    def decrypt(self, c: Ciphertext, use_crt: bool = True) -> int:
+        """Decrypt a level-``s`` ciphertext back to its plaintext in ``Z_{N^s}``.
+
+        For the workhorse level ``s = 1`` the CRT fast path is used by
+        default (half-size exponents and moduli per prime factor, the
+        standard Paillier optimization); pass ``use_crt=False`` to force
+        the generic Damgård–Jurik path — both are exact, and the CRT
+        ablation benchmark compares them.
+        """
+        if c.public_key != self.public_key:
+            raise CryptoError("ciphertext was produced under a different key")
+        if use_crt and c.s == 1:
+            return self._decrypt_crt(c.value)
+        mod_cipher = self.public_key.ciphertext_modulus(c.s)
+        u = pow(c.value, self.lam, mod_cipher)
+        m_lam = self._extract(u, c.s)
+        return m_lam * self._lam_inv(c.s) % self.public_key.n_pow(c.s)
+
+    def _crt_params(self) -> tuple[int, int, int, int, int]:
+        """(p^2, q^2, hp, hq, q^-1 mod p) for the s = 1 fast path.
+
+        ``hp = L_p((1+N)^{p-1} mod p^2)^-1 mod p`` folds the generator term
+        and the lambda inverse into one precomputed constant per prime.
+        """
+        if self._crt is None:
+            p, q, n = self.p, self.q, self.public_key.n
+            p2 = p * p
+            q2 = q * q
+            hp = invmod((pow(1 + n, p - 1, p2) - 1) // p % p, p)
+            hq = invmod((pow(1 + n, q - 1, q2) - 1) // q % q, q)
+            self._crt = (p2, q2, hp, hq, invmod(q, p))
+        return self._crt
+
+    def _decrypt_crt(self, value: int) -> int:
+        """CRT decryption of an eps_1 ciphertext value."""
+        p, q = self.p, self.q
+        p2, q2, hp, hq, q_inv = self._crt_params()
+        mp = (pow(value % p2, p - 1, p2) - 1) // p % p * hp % p
+        mq = (pow(value % q2, q - 1, q2) - 1) // q % q * hq % q
+        # Garner recombination: m = mq + q * ((mp - mq) * q^-1 mod p).
+        return (mq + q * ((mp - mq) * q_inv % p)) % self.public_key.n
+
+    def decrypt_nested(self, c: Ciphertext) -> int:
+        """Decrypt a doubly encrypted value: ``Dec_1(Dec_2(c))``.
+
+        PPGNN-OPT's second selection phase produces an eps_2 ciphertext whose
+        plaintext is itself an eps_1 ciphertext value (Section 6); this
+        helper performs the two decryptions the coordinator runs.
+        """
+        if c.s != 2:
+            raise CryptoError("nested decryption expects an eps_2 ciphertext")
+        inner_value = self.decrypt(c)
+        inner = Ciphertext(value=inner_value, s=1, public_key=self.public_key)
+        return self.decrypt(inner)
+
+
+class KeyPair(NamedTuple):
+    """The (secret, public) pair returned by ``Gen`` — the paper's (sk, pk)."""
+
+    secret_key: PaillierPrivateKey
+    public_key: PaillierPublicKey
+
+
+@lru_cache(maxsize=8)
+def _cached_keypair(keysize: int, seed: int) -> KeyPair:
+    rng = random.Random(seed)
+    p, q = generate_distinct_primes(keysize // 2, rng)
+    public = PaillierPublicKey(p * q)
+    return KeyPair(PaillierPrivateKey(public, p, q), public)
+
+
+def generate_keypair(keysize: int = 1024, seed: int | None = None) -> KeyPair:
+    """The ``Gen`` algorithm: produce ``(sk, pk)`` for a given key size.
+
+    ``keysize`` is the bit length of the modulus N (the paper's default is
+    1024).  Passing a ``seed`` makes key generation deterministic *and
+    cached*, which benchmarks and tests use to amortize prime generation;
+    production use should leave ``seed`` as None.
+    """
+    if keysize < 16 or keysize % 2:
+        raise CryptoError("keysize must be an even number of bits >= 16")
+    if seed is not None:
+        return _cached_keypair(keysize, seed)
+    rng = random.Random()
+    p, q = generate_distinct_primes(keysize // 2, rng)
+    public = PaillierPublicKey(p * q)
+    return KeyPair(PaillierPrivateKey(public, p, q), public)

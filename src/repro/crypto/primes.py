@@ -1,0 +1,93 @@
+"""Probabilistic primality testing and random prime generation.
+
+The key generator needs two random primes of ``keysize / 2`` bits.  We use
+Miller–Rabin with a deterministic witness set for 64-bit inputs and random
+witnesses above that, preceded by trial division against small primes —
+the standard construction cryptographic libraries use.
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro.errors import ConfigurationError
+
+# Small primes for fast trial division before the expensive MR rounds.
+_SMALL_PRIMES: list[int] = []
+
+
+def _init_small_primes(limit: int = 1000) -> None:
+    sieve = bytearray([1]) * (limit + 1)
+    sieve[0:2] = b"\x00\x00"
+    for i in range(2, int(limit**0.5) + 1):
+        if sieve[i]:
+            sieve[i * i :: i] = b"\x00" * len(sieve[i * i :: i])
+    _SMALL_PRIMES.extend(i for i in range(2, limit + 1) if sieve[i])
+
+
+_init_small_primes()
+
+# Deterministic Miller-Rabin witnesses covering all n < 3.3 * 10^24.
+_DETERMINISTIC_WITNESSES = (2, 3, 5, 7, 11, 13, 17, 19, 23, 29, 31, 37)
+
+
+def _miller_rabin_round(n: int, a: int, d: int, r: int) -> bool:
+    """One MR round; returns True when ``n`` passes for witness ``a``."""
+    x = pow(a, d, n)
+    if x == 1 or x == n - 1:
+        return True
+    for _ in range(r - 1):
+        x = (x * x) % n
+        if x == n - 1:
+            return True
+    return False
+
+
+def is_probable_prime(n: int, rounds: int = 40, rng: random.Random | None = None) -> bool:
+    """Miller–Rabin primality test.
+
+    Deterministic (exact) for ``n`` below ~3.3e24; otherwise probabilistic
+    with error probability at most ``4**-rounds``.
+    """
+    if n < 2:
+        return False
+    for p in _SMALL_PRIMES:
+        if n == p:
+            return True
+        if n % p == 0:
+            return False
+    d = n - 1
+    r = 0
+    while d % 2 == 0:
+        d //= 2
+        r += 1
+    if n < 3_317_044_064_679_887_385_961_981:
+        witnesses: tuple[int, ...] | list[int] = _DETERMINISTIC_WITNESSES
+    else:
+        rng = rng or random.Random()
+        witnesses = [rng.randrange(2, n - 1) for _ in range(rounds)]
+    return all(_miller_rabin_round(n, a % n, d, r) for a in witnesses if a % n not in (0, 1))
+
+
+def generate_prime(bits: int, rng: random.Random) -> int:
+    """Generate a random prime with exactly ``bits`` bits.
+
+    The top two bits are forced to 1 so the product of two such primes has
+    exactly ``2 * bits`` bits, giving a modulus of the requested key size.
+    """
+    if bits < 8:
+        raise ConfigurationError("prime size must be at least 8 bits")
+    while True:
+        candidate = rng.getrandbits(bits)
+        candidate |= (1 << (bits - 1)) | (1 << (bits - 2)) | 1
+        if is_probable_prime(candidate, rng=rng):
+            return candidate
+
+
+def generate_distinct_primes(bits: int, rng: random.Random) -> tuple[int, int]:
+    """Two distinct random primes of ``bits`` bits each."""
+    p = generate_prime(bits, rng)
+    q = generate_prime(bits, rng)
+    while q == p:
+        q = generate_prime(bits, rng)
+    return p, q

@@ -1,0 +1,118 @@
+"""Wire serialization for keys and ciphertexts.
+
+The cost model in :mod:`repro.protocol.messages` charges ciphertexts by
+their residue-class size; this module provides the matching concrete byte
+encodings, so keys and ciphertexts can actually cross process boundaries
+(files, sockets) — e.g. an LSP persisting a client's public key, or a
+coordinator handing the group key to an audit log.
+
+Format: a 4-byte magic, a 2-byte version, then length-prefixed big-endian
+integers.  Private-key serialization exists for completeness (key escrow,
+tests); treat its output as a secret.
+"""
+
+from __future__ import annotations
+
+import struct
+
+from repro.crypto.paillier import (
+    Ciphertext,
+    KeyPair,
+    PaillierPrivateKey,
+    PaillierPublicKey,
+)
+from repro.errors import CryptoError
+
+_MAGIC_PUBLIC = b"RPPK"
+_MAGIC_PRIVATE = b"RPSK"
+_MAGIC_CIPHER = b"RPCT"
+_VERSION = 1
+
+
+def _pack_int(value: int) -> bytes:
+    """Length-prefixed big-endian encoding of a non-negative integer."""
+    if value < 0:
+        raise CryptoError("cannot serialize negative integers")
+    raw = value.to_bytes((value.bit_length() + 7) // 8 or 1, "big")
+    return struct.pack(">I", len(raw)) + raw
+
+
+def _unpack_int(data: bytes, offset: int) -> tuple[int, int]:
+    """Decode one length-prefixed integer; returns (value, next offset)."""
+    if offset + 4 > len(data):
+        raise CryptoError("truncated integer length prefix")
+    (length,) = struct.unpack_from(">I", data, offset)
+    offset += 4
+    if offset + length > len(data):
+        raise CryptoError("truncated integer payload")
+    return int.from_bytes(data[offset : offset + length], "big"), offset + length
+
+
+def _check_header(data: bytes, magic: bytes) -> int:
+    if len(data) < 6:
+        raise CryptoError("buffer too short for a header")
+    if data[:4] != magic:
+        raise CryptoError(f"bad magic: expected {magic!r}, got {data[:4]!r}")
+    (version,) = struct.unpack_from(">H", data, 4)
+    if version != _VERSION:
+        raise CryptoError(f"unsupported serialization version {version}")
+    return 6
+
+
+def serialize_public_key(pk: PaillierPublicKey) -> bytes:
+    """Encode a public key (the modulus N)."""
+    return _MAGIC_PUBLIC + struct.pack(">H", _VERSION) + _pack_int(pk.n)
+
+
+def deserialize_public_key(data: bytes) -> PaillierPublicKey:
+    """Inverse of :func:`serialize_public_key`."""
+    offset = _check_header(data, _MAGIC_PUBLIC)
+    n, offset = _unpack_int(data, offset)
+    if offset != len(data):
+        raise CryptoError("trailing bytes after public key")
+    return PaillierPublicKey(n)
+
+
+def serialize_private_key(sk: PaillierPrivateKey) -> bytes:
+    """Encode a private key (p and q).  The output is a secret."""
+    return (
+        _MAGIC_PRIVATE
+        + struct.pack(">H", _VERSION)
+        + _pack_int(sk.p)
+        + _pack_int(sk.q)
+    )
+
+
+def deserialize_private_key(data: bytes) -> KeyPair:
+    """Inverse of :func:`serialize_private_key`; rebuilds the full pair."""
+    offset = _check_header(data, _MAGIC_PRIVATE)
+    p, offset = _unpack_int(data, offset)
+    q, offset = _unpack_int(data, offset)
+    if offset != len(data):
+        raise CryptoError("trailing bytes after private key")
+    public = PaillierPublicKey(p * q)
+    return KeyPair(PaillierPrivateKey(public, p, q), public)
+
+
+def serialize_ciphertext(c: Ciphertext) -> bytes:
+    """Encode a ciphertext (level + value).  The key travels separately."""
+    return (
+        _MAGIC_CIPHER
+        + struct.pack(">HB", _VERSION, c.s)
+        + _pack_int(c.value)
+    )
+
+
+def deserialize_ciphertext(data: bytes, pk: PaillierPublicKey) -> Ciphertext:
+    """Inverse of :func:`serialize_ciphertext` under a known public key."""
+    offset = _check_header(data, _MAGIC_CIPHER)
+    if offset + 1 > len(data):
+        raise CryptoError("truncated ciphertext level")
+    s = data[offset]
+    offset += 1
+    value, offset = _unpack_int(data, offset)
+    if offset != len(data):
+        raise CryptoError("trailing bytes after ciphertext")
+    if not 0 <= value < pk.ciphertext_modulus(s):
+        raise CryptoError("ciphertext value outside the key's residue space")
+    return Ciphertext(value=value, s=s, public_key=pk)

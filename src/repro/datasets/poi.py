@@ -1,0 +1,28 @@
+"""Point-of-interest records owned by the LSP."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.geometry.point import Point
+
+
+@dataclass(frozen=True, slots=True)
+class POI:
+    """One row of the LSP database: an id, a location, and a display name.
+
+    ``poi_id`` is the stable integer identity the answer encoding transmits;
+    the name stands in for the "other associated information" of Section 2.
+    """
+
+    poi_id: int
+    location: Point
+    name: str = ""
+
+    def __post_init__(self) -> None:
+        if self.poi_id < 0:
+            raise ValueError("poi_id must be non-negative")
+
+    def __str__(self) -> str:
+        label = self.name or f"poi-{self.poi_id}"
+        return f"{label}@({self.location.x:.4f}, {self.location.y:.4f})"

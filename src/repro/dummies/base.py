@@ -1,0 +1,29 @@
+"""The dummy-generator interface."""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+
+import numpy as np
+
+from repro.geometry.point import Point
+from repro.geometry.space import LocationSpace
+
+
+class DummyGenerator(ABC):
+    """Produces decoy locations for a location set.
+
+    Implementations must return locations inside the space that are, to the
+    LSP, plausible user positions — Privacy I rests on the real location
+    being indistinguishable from the dummies.
+    """
+
+    @abstractmethod
+    def generate(
+        self, count: int, space: LocationSpace, rng: np.random.Generator
+    ) -> list[Point]:
+        """Return ``count`` dummy locations inside ``space``."""
+
+    def name(self) -> str:
+        """Registry/reporting label."""
+        return type(self).__name__

@@ -1,0 +1,133 @@
+"""Concrete dummy-generation strategies."""
+
+from __future__ import annotations
+
+import math
+from typing import Sequence
+
+import numpy as np
+
+from repro.datasets.poi import POI
+from repro.dummies.base import DummyGenerator
+from repro.errors import ConfigurationError
+from repro.geometry.point import Point
+from repro.geometry.space import LocationSpace
+
+
+class UniformDummyGenerator(DummyGenerator):
+    """I.i.d. uniform dummies — the paper's evaluation model."""
+
+    def generate(
+        self, count: int, space: LocationSpace, rng: np.random.Generator
+    ) -> list[Point]:
+        if count < 0:
+            raise ConfigurationError("dummy count must be non-negative")
+        return space.sample_points(count, rng)
+
+
+class PrivacyAreaDummyGenerator(DummyGenerator):
+    """PAD-style [20]: spread dummies over a jittered grid.
+
+    Uniform sampling can cluster dummies by chance, shrinking the effective
+    anonymity area; a jittered grid guarantees coverage of the whole space.
+    ``jitter`` scales the random offset inside each grid cell (0 = exact
+    grid centers, 1 = anywhere in the cell).
+    """
+
+    def __init__(self, jitter: float = 0.8) -> None:
+        if not 0.0 <= jitter <= 1.0:
+            raise ConfigurationError("jitter must be in [0, 1]")
+        self.jitter = jitter
+
+    def generate(
+        self, count: int, space: LocationSpace, rng: np.random.Generator
+    ) -> list[Point]:
+        if count < 0:
+            raise ConfigurationError("dummy count must be non-negative")
+        if count == 0:
+            return []
+        bounds = space.bounds
+        cols = math.ceil(math.sqrt(count))
+        rows = math.ceil(count / cols)
+        cell_w = bounds.width / cols
+        cell_h = bounds.height / rows
+        # Choose `count` distinct cells, spread deterministically over the
+        # grid, then jitter inside each.
+        cells = rng.permutation(cols * rows)[:count]
+        points = []
+        for cell in cells:
+            col, row = int(cell) % cols, int(cell) // cols
+            cx = bounds.xmin + (col + 0.5) * cell_w
+            cy = bounds.ymin + (row + 0.5) * cell_h
+            dx = (rng.uniform(-0.5, 0.5)) * cell_w * self.jitter
+            dy = (rng.uniform(-0.5, 0.5)) * cell_h * self.jitter
+            points.append(Point(cx + dx, cy + dy))
+        return points
+
+
+class POIAwareDummyGenerator(DummyGenerator):
+    """k-anonymity-style [22]: dummies near publicly plausible locations.
+
+    Uniform dummies can land in lakes or deserts, letting a map-aware LSP
+    discount them.  This generator samples from the (public) POI density:
+    it bins a reference POI set into a coarse histogram, draws a cell
+    proportionally to its POI count, and jitters within the cell.
+    """
+
+    def __init__(self, reference_pois: Sequence[POI], cells_per_side: int = 16) -> None:
+        if not reference_pois:
+            raise ConfigurationError("need a non-empty public POI sample")
+        if cells_per_side < 1:
+            raise ConfigurationError("cells_per_side must be positive")
+        self.cells_per_side = cells_per_side
+        self._reference = list(reference_pois)
+        self._weights: np.ndarray | None = None
+        self._space: LocationSpace | None = None
+
+    def _histogram(self, space: LocationSpace) -> np.ndarray:
+        if self._weights is None or self._space != space:
+            g = self.cells_per_side
+            bounds = space.bounds
+            counts = np.zeros(g * g)
+            for poi in self._reference:
+                col = min(int((poi.location.x - bounds.xmin) / bounds.width * g), g - 1)
+                row = min(int((poi.location.y - bounds.ymin) / bounds.height * g), g - 1)
+                counts[row * g + col] += 1
+            if counts.sum() == 0:
+                raise ConfigurationError("reference POIs outside the space")
+            self._weights = counts / counts.sum()
+            self._space = space
+        return self._weights
+
+    def generate(
+        self, count: int, space: LocationSpace, rng: np.random.Generator
+    ) -> list[Point]:
+        if count < 0:
+            raise ConfigurationError("dummy count must be non-negative")
+        if count == 0:
+            return []
+        weights = self._histogram(space)
+        g = self.cells_per_side
+        bounds = space.bounds
+        cell_w = bounds.width / g
+        cell_h = bounds.height / g
+        cells = rng.choice(g * g, size=count, p=weights)
+        xs = bounds.xmin + (cells % g + rng.uniform(0, 1, count)) * cell_w
+        ys = bounds.ymin + (cells // g + rng.uniform(0, 1, count)) * cell_h
+        return [Point(float(x), float(y)) for x, y in zip(xs, ys)]
+
+
+def make_dummy_generator(name: str) -> DummyGenerator:
+    """Construct an argument-free strategy by registry name.
+
+    ``poi-aware`` needs a reference POI set and must be constructed
+    directly; runners accept any :class:`DummyGenerator` instance.
+    """
+    if name == "uniform":
+        return UniformDummyGenerator()
+    if name == "privacy-area":
+        return PrivacyAreaDummyGenerator()
+    raise ConfigurationError(
+        f"unknown dummy strategy {name!r}; known: uniform, privacy-area "
+        f"(POIAwareDummyGenerator must be constructed explicitly)"
+    )

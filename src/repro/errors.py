@@ -1,0 +1,50 @@
+"""Exception hierarchy for the PPGNN reproduction library.
+
+All library-raised errors derive from :class:`ReproError` so callers can
+catch everything the library produces with a single ``except`` clause while
+still being able to distinguish configuration mistakes from protocol
+violations.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for every error raised by this library."""
+
+
+class ConfigurationError(ReproError, ValueError):
+    """A parameter value is outside its documented domain.
+
+    Examples: ``d < 2`` for the Privacy I anonymity parameter, a ``delta``
+    larger than ``d ** n`` (no feasible partition exists), or a key size too
+    small to hold an encoded answer integer.
+    """
+
+
+class CryptoError(ReproError):
+    """A cryptographic operation failed or was used inconsistently.
+
+    Raised for plaintexts outside the plaintext space, ciphertexts combined
+    under mismatching public keys, or decryption with the wrong key.
+    """
+
+
+class EncodingError(ReproError):
+    """Answer encoding or decoding failed.
+
+    Raised when a value does not fit its packed field width, or when a
+    decoded buffer is structurally invalid.
+    """
+
+
+class ProtocolError(ReproError):
+    """A party received a message that violates the protocol state machine."""
+
+
+class InfeasibleError(ConfigurationError):
+    """No feasible solution exists for an optimization problem instance.
+
+    Raised by the partition-parameter solver when ``delta > d ** n`` — the
+    paper requires users to pick a larger ``d`` in that case.
+    """

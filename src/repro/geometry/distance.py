@@ -1,0 +1,75 @@
+"""Distance functions between points and rectangles.
+
+Besides the plain Euclidean metric the paper's query engine needs the two
+classic R-tree bounds:
+
+- ``mindist(p, R)`` — the smallest possible distance between ``p`` and any
+  point of rectangle ``R`` (lower bound used for best-first pruning),
+- ``maxdist(p, R)`` — the largest possible distance (upper bound, used by
+  the IPPF baseline's candidate filtering).
+
+Vectorized variants operating on numpy arrays of points are provided for
+the Monte-Carlo answer sanitation, which evaluates tens of thousands of
+candidate locations per hypothesis test.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+from repro.geometry.point import Point
+from repro.geometry.rect import Rect
+
+
+def euclidean(a: Point, b: Point) -> float:
+    """Euclidean distance between two points."""
+    return math.hypot(a.x - b.x, a.y - b.y)
+
+
+def squared_euclidean(a: Point, b: Point) -> float:
+    """Squared Euclidean distance (cheaper for pure comparisons)."""
+    dx = a.x - b.x
+    dy = a.y - b.y
+    return dx * dx + dy * dy
+
+
+def mindist_point_rect(p: Point, r: Rect) -> float:
+    """Smallest distance from ``p`` to any point inside ``r``.
+
+    Zero when ``p`` lies inside the rectangle.
+    """
+    dx = max(r.xmin - p.x, 0.0, p.x - r.xmax)
+    dy = max(r.ymin - p.y, 0.0, p.y - r.ymax)
+    return math.hypot(dx, dy)
+
+
+def maxdist_point_rect(p: Point, r: Rect) -> float:
+    """Largest distance from ``p`` to any point inside ``r``.
+
+    Attained at one of the rectangle corners.
+    """
+    dx = max(p.x - r.xmin, r.xmax - p.x)
+    dy = max(p.y - r.ymin, r.ymax - p.y)
+    return math.hypot(dx, dy)
+
+
+def pairwise_distances(xs: np.ndarray, ys: np.ndarray, p: Point) -> np.ndarray:
+    """Euclidean distances from many points ``(xs[i], ys[i])`` to ``p``.
+
+    ``xs`` and ``ys`` are equal-length 1-D float arrays; the result is a 1-D
+    array of the same length.  This is the hot path of the answer sanitation.
+    """
+    return np.hypot(xs - p.x, ys - p.y)
+
+
+def distance_matrix(xs: np.ndarray, ys: np.ndarray, points: list[Point]) -> np.ndarray:
+    """Distances from many sample locations to many fixed points.
+
+    Returns an array of shape ``(len(xs), len(points))`` where entry
+    ``[i, j]`` is the distance from sample ``i`` to ``points[j]``.
+    """
+    px = np.array([q.x for q in points], dtype=np.float64)
+    py = np.array([q.y for q in points], dtype=np.float64)
+    return np.hypot(xs[:, None] - px[None, :], ys[:, None] - py[None, :])

@@ -1,0 +1,112 @@
+"""The kGNN black box the privacy protocols call.
+
+The PPGNN design treats query answering as an opaque function from
+``(k, locations)`` to a ranked POI list (Section 1, novelty 4).  This module
+gives that black box a concrete default — MBM over an R-tree — behind an
+interface narrow enough that any group query (e.g. a meeting-location
+determination algorithm, see ``examples/ppmld.py``) can be swapped in.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Sequence
+
+from repro.datasets.poi import POI
+from repro.errors import ConfigurationError
+from repro.geometry.point import Point
+from repro.gnn.aggregate import Aggregate, SUM
+from repro.gnn.mbm import mbm_kgnn
+from repro.gnn.mqm import mqm_kgnn
+from repro.gnn.spm import spm_kgnn
+from repro.index.rtree import RTree
+
+#: The three classic group-kNN algorithms of [24], selectable per engine.
+_ALGORITHMS = {"mbm": mbm_kgnn, "spm": spm_kgnn, "mqm": mqm_kgnn}
+
+#: Signature of a pluggable group-query function: (k, locations) -> ranked POIs.
+GroupQueryFn = Callable[[int, Sequence[Point]], list[POI]]
+
+
+class GNNQueryEngine:
+    """An R-tree-backed kGNN engine over a POI database.
+
+    Parameters
+    ----------
+    pois:
+        The LSP database D.
+    aggregate:
+        The monotone cost function F (default ``sum``, the paper's choice).
+    max_entries:
+        R-tree fan-out.
+    algorithm:
+        The plaintext kGNN algorithm: ``"mbm"`` (default, the paper's
+        choice), ``"spm"``, or ``"mqm"`` — the three methods of [24].
+    """
+
+    def __init__(
+        self,
+        pois: Sequence[POI],
+        aggregate: Aggregate = SUM,
+        max_entries: int = 32,
+        algorithm: str = "mbm",
+    ) -> None:
+        if not pois:
+            raise ConfigurationError("the POI database must be non-empty")
+        self.aggregate = aggregate
+        self.algorithm = algorithm
+        self._kgnn = _ALGORITHMS.get(algorithm)
+        if self._kgnn is None:
+            raise ConfigurationError(
+                f"unknown kGNN algorithm {algorithm!r}; known: {sorted(_ALGORITHMS)}"
+            )
+        self.tree = RTree(max_entries=max_entries)
+        self.tree.bulk_load((poi.location, poi) for poi in pois)
+        self._by_id = {poi.poi_id: poi for poi in pois}
+        if len(self._by_id) != len(pois):
+            raise ConfigurationError("duplicate poi_id values in the database")
+
+    def __len__(self) -> int:
+        return len(self.tree)
+
+    def poi_by_id(self, poi_id: int) -> POI:
+        """Resolve a POI id (used when decoding transmitted answers)."""
+        try:
+            return self._by_id[poi_id]
+        except KeyError:
+            raise ConfigurationError(f"unknown poi_id {poi_id}") from None
+
+    def query(self, k: int, locations: Sequence[Point]) -> list[POI]:
+        """Definition 2.1: the top-``k`` POIs by ascending F, exactly.
+
+        ``k`` is capped at the database size, mirroring ``k <= D``.
+        """
+        k = min(k, len(self.tree))
+        return [
+            poi for _, poi, _ in self._kgnn(self.tree, locations, k, self.aggregate)
+        ]
+
+    def query_scored(
+        self, k: int, locations: Sequence[Point]
+    ) -> list[tuple[POI, float]]:
+        """Like :meth:`query` but keeps the aggregate scores (for tests)."""
+        k = min(k, len(self.tree))
+        return [
+            (poi, score)
+            for _, poi, score in self._kgnn(self.tree, locations, k, self.aggregate)
+        ]
+
+    # Mutation passthroughs: the dynamic-database story of Section 1.
+
+    def insert(self, poi: POI) -> None:
+        """Add a POI to the live database (no precomputation to refresh)."""
+        if poi.poi_id in self._by_id:
+            raise ConfigurationError(f"poi_id {poi.poi_id} already present")
+        self.tree.insert(poi.location, poi)
+        self._by_id[poi.poi_id] = poi
+
+    def delete(self, poi: POI) -> bool:
+        """Remove a POI; returns False when it was not present."""
+        removed = self.tree.delete(poi.location, poi)
+        if removed:
+            del self._by_id[poi.poi_id]
+        return removed

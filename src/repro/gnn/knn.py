@@ -1,0 +1,103 @@
+"""Best-first k-nearest-neighbor search over an R-tree.
+
+The classic incremental algorithm: a priority queue ordered by ``mindist``
+interleaves tree nodes and data points; a point popped from the queue is
+guaranteed nearer than everything still enqueued, so the first k popped
+points are the exact answer.
+"""
+
+from __future__ import annotations
+
+import heapq
+from itertools import count
+from typing import Any
+
+from repro.errors import ConfigurationError
+from repro.geometry.distance import mindist_point_rect
+from repro.geometry.point import Point
+from repro.index.rtree import RTree
+
+
+def incremental_nearest(tree: RTree, query: Point):
+    """Yield ``(distance, point, item)`` in ascending distance order, lazily.
+
+    The incremental form of best-first search: consumers pull as many
+    neighbors as they need (the MQM group-kNN algorithm advances n such
+    streams round-robin).  State lives in the generator's priority queue.
+    """
+    seq = count()
+    heap: list[tuple[float, tuple[float, float], int, bool, Any]] = []
+    root = tree.root
+    if root.mbr is not None:
+        heapq.heappush(
+            heap, (mindist_point_rect(query, root.mbr), (0.0, 0.0), next(seq), False, root)
+        )
+    while heap:
+        dist, _, _, is_point, payload = heapq.heappop(heap)
+        if is_point:
+            p, item = payload
+            yield dist, p, item
+            continue
+        node = payload
+        if node.is_leaf:
+            for p, item in zip(node.points, node.items):
+                heapq.heappush(
+                    heap, (p.distance_to(query), (p.x, p.y), next(seq), True, (p, item))
+                )
+        else:
+            for child in node.children:
+                if child.mbr is not None:
+                    heapq.heappush(
+                        heap,
+                        (
+                            mindist_point_rect(query, child.mbr),
+                            (child.mbr.xmin, child.mbr.ymin),
+                            next(seq),
+                            False,
+                            child,
+                        ),
+                    )
+
+
+def best_first_knn(tree: RTree, query: Point, k: int) -> list[tuple[Point, Any]]:
+    """The ``k`` entries of ``tree`` nearest to ``query``, ascending by distance.
+
+    Ties break deterministically on location then insertion order (via the
+    queue sequence number), so repeated runs over the same tree agree.
+    """
+    if k < 1:
+        raise ConfigurationError("k must be positive")
+    # Queue items: (priority, tiebreak point-or-None, seq, kind, payload).
+    seq = count()
+    heap: list[tuple[float, tuple[float, float], int, bool, Any]] = []
+    root = tree.root
+    if root.mbr is not None:
+        heapq.heappush(
+            heap, (mindist_point_rect(query, root.mbr), (0.0, 0.0), next(seq), False, root)
+        )
+    result: list[tuple[Point, Any]] = []
+    while heap and len(result) < k:
+        _, _, _, is_point, payload = heapq.heappop(heap)
+        if is_point:
+            result.append(payload)
+            continue
+        node = payload
+        if node.is_leaf:
+            for p, item in zip(node.points, node.items):
+                heapq.heappush(
+                    heap, (p.distance_to(query), (p.x, p.y), next(seq), True, (p, item))
+                )
+        else:
+            for child in node.children:
+                if child.mbr is not None:
+                    heapq.heappush(
+                        heap,
+                        (
+                            mindist_point_rect(query, child.mbr),
+                            (child.mbr.xmin, child.mbr.ymin),
+                            next(seq),
+                            False,
+                            child,
+                        ),
+                    )
+    return result

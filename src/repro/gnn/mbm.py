@@ -1,0 +1,69 @@
+"""Minimum Bounding Method (MBM) for group kNN queries [24].
+
+MBM generalizes best-first kNN to a *group* of query locations: a tree node
+is ranked by ``F(mindist(MBR, l_1), ..., mindist(MBR, l_n))``.  Because F
+is monotonically increasing and ``mindist`` lower-bounds every real
+distance from any point inside the MBR, this value lower-bounds the
+aggregate cost of every POI under the node, so best-first order remains
+exact.  This is the plaintext kGNN black box run per candidate query by the
+LSP (Algorithm 2 line 3).
+"""
+
+from __future__ import annotations
+
+import heapq
+from itertools import count
+from typing import Any, Sequence
+
+from repro.errors import ConfigurationError
+from repro.geometry.distance import mindist_point_rect
+from repro.geometry.point import Point
+from repro.gnn.aggregate import Aggregate
+from repro.index.rtree import RTree
+
+
+def mbm_kgnn(
+    tree: RTree,
+    locations: Sequence[Point],
+    k: int,
+    aggregate: Aggregate,
+) -> list[tuple[Point, Any, float]]:
+    """Exact top-``k`` group nearest neighbors.
+
+    Returns ``(location, item, score)`` triples in ascending aggregate-cost
+    order, where ``score = F(dis(p, l_1), ..., dis(p, l_n))``.  Ties break
+    deterministically on location.
+    """
+    if k < 1:
+        raise ConfigurationError("k must be positive")
+    if not locations:
+        raise ConfigurationError("kGNN query needs at least one location")
+    seq = count()
+    heap: list[tuple[float, tuple[float, float], int, bool, Any]] = []
+    root = tree.root
+    if root.mbr is not None:
+        bound = aggregate(mindist_point_rect(q, root.mbr) for q in locations)
+        heapq.heappush(heap, (bound, (0.0, 0.0), next(seq), False, root))
+    result: list[tuple[Point, Any, float]] = []
+    while heap and len(result) < k:
+        score, _, _, is_point, payload = heapq.heappop(heap)
+        if is_point:
+            p, item = payload
+            result.append((p, item, score))
+            continue
+        node = payload
+        if node.is_leaf:
+            for p, item in zip(node.points, node.items):
+                cost = aggregate(p.distance_to(q) for q in locations)
+                heapq.heappush(heap, (cost, (p.x, p.y), next(seq), True, (p, item)))
+        else:
+            for child in node.children:
+                if child.mbr is not None:
+                    bound = aggregate(
+                        mindist_point_rect(q, child.mbr) for q in locations
+                    )
+                    heapq.heappush(
+                        heap,
+                        (bound, (child.mbr.xmin, child.mbr.ymin), next(seq), False, child),
+                    )
+    return result

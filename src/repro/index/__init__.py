@@ -1,0 +1,25 @@
+"""Spatial index substrate.
+
+The paper's LSP answers plaintext kGNN queries with the MBM algorithm of
+Papadias et al. [24], which runs best-first search over an R-tree.  The
+original evaluation used a C++ R-tree; this package implements the same
+structures in Python:
+
+- :class:`~repro.index.rtree.RTree` — quadratic-split insertion, STR bulk
+  loading, deletion, range queries, and the (mbr, entries) traversal the
+  best-first kNN/kGNN searches consume,
+- :class:`~repro.index.grid.GridIndex` — a uniform grid (used by the APNN
+  baseline's precomputation),
+- :class:`~repro.index.kdtree.KDTree` — a median-balanced k-d tree with
+  best-first kNN (an independent cross-check and snapping structure),
+- :class:`~repro.index.bruteforce.BruteForceIndex` — the O(D) oracle used to
+  property-test the tree-based indexes.
+"""
+
+from repro.index.base import SpatialIndex
+from repro.index.bruteforce import BruteForceIndex
+from repro.index.grid import GridIndex
+from repro.index.kdtree import KDTree
+from repro.index.rtree import RTree
+
+__all__ = ["SpatialIndex", "BruteForceIndex", "GridIndex", "KDTree", "RTree"]

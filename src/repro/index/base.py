@@ -1,0 +1,42 @@
+"""Common interface for spatial indexes over (Point, item) pairs."""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from typing import Any, Iterable, Iterator
+
+from repro.geometry.point import Point
+from repro.geometry.rect import Rect
+
+
+class SpatialIndex(ABC):
+    """A container of ``(location, item)`` entries supporting spatial queries.
+
+    ``item`` is opaque to the index (the LSP stores POI objects).  All
+    indexes in this package implement the same minimal surface so query
+    algorithms (kNN, MBM kGNN) and tests can swap them freely.
+    """
+
+    @abstractmethod
+    def insert(self, location: Point, item: Any) -> None:
+        """Add one entry."""
+
+    @abstractmethod
+    def __len__(self) -> int:
+        """Number of stored entries."""
+
+    @abstractmethod
+    def entries(self) -> Iterator[tuple[Point, Any]]:
+        """Iterate over all ``(location, item)`` entries in arbitrary order."""
+
+    @abstractmethod
+    def range_query(self, rect: Rect) -> list[tuple[Point, Any]]:
+        """All entries whose location falls inside ``rect`` (inclusive)."""
+
+    def bulk_load(self, items: Iterable[tuple[Point, Any]]) -> None:
+        """Insert many entries; subclasses may override with a faster path."""
+        for location, item in items:
+            self.insert(location, item)
+
+    def __bool__(self) -> bool:
+        return len(self) > 0

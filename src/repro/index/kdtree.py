@@ -1,0 +1,147 @@
+"""Static balanced k-d tree over point data.
+
+A second tree-shaped index besides the R-tree: median-split construction,
+range queries, and best-first kNN.  The query engines default to the
+R-tree (MBM needs rectangle bounds), but the k-d tree serves as an
+independent implementation for cross-checking, as the nearest-node snapper
+of custom substrates, and as the textbook comparison point in index tests.
+
+The tree is rebuilt rather than rebalanced: ``insert`` appends to a small
+overflow buffer that queries scan linearly, and ``rebuild`` folds it in —
+the standard static/dynamic compromise for median-built k-d trees.
+"""
+
+from __future__ import annotations
+
+import heapq
+from itertools import count
+from typing import Any, Iterator
+
+from repro.geometry.point import Point
+from repro.geometry.rect import Rect
+from repro.index.base import SpatialIndex
+
+
+class _KDNode:
+    __slots__ = ("point", "item", "axis", "left", "right")
+
+    def __init__(self, point: Point, item: Any, axis: int) -> None:
+        self.point = point
+        self.item = item
+        self.axis = axis
+        self.left: "_KDNode | None" = None
+        self.right: "_KDNode | None" = None
+
+
+def _build(entries: list[tuple[Point, Any]], depth: int) -> _KDNode | None:
+    if not entries:
+        return None
+    axis = depth % 2
+    entries.sort(key=lambda e: (e[0].x if axis == 0 else e[0].y, e[0]))
+    mid = len(entries) // 2
+    point, item = entries[mid]
+    node = _KDNode(point, item, axis)
+    node.left = _build(entries[:mid], depth + 1)
+    node.right = _build(entries[mid + 1 :], depth + 1)
+    return node
+
+
+class KDTree(SpatialIndex):
+    """Median-balanced k-d tree with an insert overflow buffer."""
+
+    def __init__(self) -> None:
+        self._root: _KDNode | None = None
+        self._count = 0
+        self._overflow: list[tuple[Point, Any]] = []
+
+    def bulk_load(self, items) -> None:
+        entries = list(items)
+        self._root = _build(entries, 0)
+        self._count = len(entries)
+        self._overflow = []
+
+    def insert(self, location: Point, item: Any) -> None:
+        self._overflow.append((location, item))
+        self._count += 1
+
+    def rebuild(self) -> None:
+        """Fold the overflow buffer into a freshly balanced tree."""
+        self.bulk_load(list(self.entries()))
+
+    @property
+    def overflow_size(self) -> int:
+        """Entries awaiting :meth:`rebuild` (scanned linearly by queries)."""
+        return len(self._overflow)
+
+    def __len__(self) -> int:
+        return self._count
+
+    def entries(self) -> Iterator[tuple[Point, Any]]:
+        stack = [self._root] if self._root else []
+        while stack:
+            node = stack.pop()
+            yield node.point, node.item
+            if node.left:
+                stack.append(node.left)
+            if node.right:
+                stack.append(node.right)
+        yield from self._overflow
+
+    # ------------------------------------------------------------- queries
+
+    def range_query(self, rect: Rect) -> list[tuple[Point, Any]]:
+        result = [(p, item) for p, item in self._overflow if rect.contains_point(p)]
+        stack = [self._root] if self._root else []
+        while stack:
+            node = stack.pop()
+            p = node.point
+            if rect.contains_point(p):
+                result.append((p, node.item))
+            coord = p.x if node.axis == 0 else p.y
+            low = rect.xmin if node.axis == 0 else rect.ymin
+            high = rect.xmax if node.axis == 0 else rect.ymax
+            if node.left and low <= coord:
+                stack.append(node.left)
+            if node.right and high >= coord:
+                stack.append(node.right)
+        return result
+
+    def nearest(self, query: Point, k: int) -> list[tuple[Point, Any]]:
+        """Best-first kNN over the tree plus a scan of the overflow buffer.
+
+        Tree nodes are ranked by the distance between the query and the
+        half-space slab they guard (zero until the search crosses the
+        splitting plane), which keeps the search exact.
+        """
+        seq = count()
+        heap: list = []
+        if self._root:
+            heapq.heappush(heap, (0.0, (0.0, 0.0), next(seq), False, self._root))
+        for p, item in self._overflow:
+            heapq.heappush(
+                heap, (p.distance_to(query), (p.x, p.y), next(seq), True, (p, item))
+            )
+        result: list[tuple[Point, Any]] = []
+        while heap and len(result) < k:
+            bound, _, _, is_point, payload = heapq.heappop(heap)
+            if is_point:
+                result.append(payload)
+                continue
+            node = payload
+            p = node.point
+            heapq.heappush(
+                heap, (p.distance_to(query), (p.x, p.y), next(seq), True, (p, node.item))
+            )
+            coord = p.x if node.axis == 0 else p.y
+            q_coord = query.x if node.axis == 0 else query.y
+            plane_dist = abs(q_coord - coord)
+            near, far = (
+                (node.left, node.right) if q_coord <= coord else (node.right, node.left)
+            )
+            if near:
+                heapq.heappush(heap, (bound, (p.x, p.y), next(seq), False, near))
+            if far:
+                heapq.heappush(
+                    heap, (max(bound, plane_dist), (p.x, p.y), next(seq), False, far)
+                )
+        return result

@@ -1,0 +1,23 @@
+"""Answer-quality metrics.
+
+The paper argues qualitatively that approximate schemes (APNN's
+cell-center answers, GLP's centroid answers) "degrade the answer utility";
+this package quantifies that with standard retrieval metrics plus an
+aggregate-cost ratio, used by the answer-quality benchmark.
+"""
+
+from repro.metrics.quality import (
+    AnswerQuality,
+    answer_precision,
+    answer_recall,
+    cost_ratio,
+    evaluate_answer,
+)
+
+__all__ = [
+    "AnswerQuality",
+    "answer_precision",
+    "answer_recall",
+    "cost_ratio",
+    "evaluate_answer",
+]

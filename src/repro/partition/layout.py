@@ -1,0 +1,205 @@
+"""Candidate-query layout shared by the coordinator and the LSP (Section 4.1).
+
+Given the solved :class:`~repro.partition.solver.PartitionParameters`, this
+module defines the *canonical candidate-query order* both sides must agree
+on: segments in order, and within a segment the subgroup positions
+``(x_1, ..., x_alpha)`` in lexicographic order.  The coordinator uses it to
+compute the query index of Eqn (12); the LSP uses it to enumerate the
+candidate-query list of Eqn (6).  All indices here are 0-based (the paper
+is 1-based); Eqn (12)'s ``+1`` disappears accordingly.
+"""
+
+from __future__ import annotations
+
+import itertools
+import random
+from dataclasses import dataclass
+from typing import Iterator, Sequence, TypeVar
+
+from repro.errors import ConfigurationError
+from repro.partition.solver import PartitionParameters
+
+T = TypeVar("T")
+
+
+@dataclass(frozen=True, slots=True)
+class PlacementPlan:
+    """Where the real locations go, as drawn by the coordinator (Alg 1, lines 3-7).
+
+    Attributes
+    ----------
+    segment:
+        The chosen segment index (0-based), drawn with probability
+        proportional to segment size (Eqn 11).
+    relative_positions:
+        Per-subgroup position ``x_j`` inside the segment (0-based).
+    absolute_positions:
+        Per-subgroup position ``pos_j`` over the whole location set — the
+        value broadcast to the subgroup's users.
+    query_index:
+        The position of the real query in the canonical candidate list
+        (Eqn 12, 0-based) — the hot index of the encrypted indicator.
+    """
+
+    segment: int
+    relative_positions: tuple[int, ...]
+    absolute_positions: tuple[int, ...]
+    query_index: int
+
+
+class GroupLayout:
+    """Deterministic geometry of subgroups, segments, and candidate queries."""
+
+    def __init__(self, params: PartitionParameters) -> None:
+        self.params = params
+        self._segment_offsets = []
+        offset = 0
+        for size in params.segment_sizes:
+            self._segment_offsets.append(offset)
+            offset += size
+        self._subgroup_of_user: list[int] = []
+        for j, size in enumerate(params.subgroup_sizes):
+            self._subgroup_of_user.extend([j] * size)
+
+    # ------------------------------------------------------------ structure
+
+    @property
+    def n(self) -> int:
+        return self.params.n
+
+    @property
+    def d(self) -> int:
+        return self.params.d
+
+    @property
+    def alpha(self) -> int:
+        return self.params.alpha
+
+    @property
+    def beta(self) -> int:
+        return self.params.beta
+
+    @property
+    def delta_prime(self) -> int:
+        """Length of the candidate query list."""
+        return self.params.delta_prime
+
+    def segment_offset(self, segment: int) -> int:
+        """Absolute position of the first slot of ``segment``."""
+        return self._segment_offsets[segment]
+
+    def subgroup_of_user(self, user_index: int) -> int:
+        """Which subgroup user ``user_index`` belongs to.
+
+        Users are assigned to subgroups in id order: the first ``n_1`` users
+        form subgroup 0, the next ``n_2`` subgroup 1, and so on — exactly
+        how the LSP reconstructs subgroups from user ids (Section 4.2).
+        """
+        if not 0 <= user_index < self.n:
+            raise ConfigurationError(f"user index {user_index} out of range")
+        return self._subgroup_of_user[user_index]
+
+    def users_of_subgroup(self, subgroup: int) -> range:
+        """The contiguous user-index range of one subgroup."""
+        if not 0 <= subgroup < self.alpha:
+            raise ConfigurationError(f"subgroup {subgroup} out of range")
+        start = sum(self.params.subgroup_sizes[:subgroup])
+        return range(start, start + self.params.subgroup_sizes[subgroup])
+
+    # ---------------------------------------------------------- query index
+
+    def query_index(self, segment: int, relative_positions: Sequence[int]) -> int:
+        """Eqn (12), 0-based: position of a candidate in the canonical list."""
+        if not 0 <= segment < self.beta:
+            raise ConfigurationError(f"segment {segment} out of range")
+        if len(relative_positions) != self.alpha:
+            raise ConfigurationError(
+                f"expected {self.alpha} positions, got {len(relative_positions)}"
+            )
+        seg_size = self.params.segment_sizes[segment]
+        index = sum(size**self.alpha for size in self.params.segment_sizes[:segment])
+        for j, x in enumerate(relative_positions):
+            if not 0 <= x < seg_size:
+                raise ConfigurationError(
+                    f"position {x} outside segment of size {seg_size}"
+                )
+            index += x * seg_size ** (self.alpha - 1 - j)
+        return index
+
+    def position_of_index(self, query_index: int) -> tuple[int, tuple[int, ...]]:
+        """Inverse of :meth:`query_index` (used by tests and the LSP's bookkeeping)."""
+        if not 0 <= query_index < self.delta_prime:
+            raise ConfigurationError(f"query index {query_index} out of range")
+        remaining = query_index
+        for segment, size in enumerate(self.params.segment_sizes):
+            block = size**self.alpha
+            if remaining < block:
+                positions = []
+                for _ in range(self.alpha):
+                    block //= size
+                    positions.append(remaining // block)
+                    remaining %= block
+                return segment, tuple(positions)
+            remaining -= block
+        raise AssertionError("unreachable: query_index validated above")
+
+    # ------------------------------------------------------------ placement
+
+    def plan_placement(self, rng: random.Random) -> PlacementPlan:
+        """Draw the real-location placement (Algorithm 1, lines 3-7).
+
+        The segment is drawn with probability ``size / d`` (Eqn 11) — this
+        weighting is what makes every individual slot equally likely and
+        gives the exact 1/d guarantee of Theorem 4.3.  Subgroup positions
+        are uniform within the segment.
+        """
+        segment = rng.choices(
+            range(self.beta), weights=self.params.segment_sizes, k=1
+        )[0]
+        seg_size = self.params.segment_sizes[segment]
+        relative = tuple(rng.randrange(seg_size) for _ in range(self.alpha))
+        offset = self.segment_offset(segment)
+        absolute = tuple(offset + x for x in relative)
+        return PlacementPlan(
+            segment=segment,
+            relative_positions=relative,
+            absolute_positions=absolute,
+            query_index=self.query_index(segment, relative),
+        )
+
+    # ----------------------------------------------------------- candidates
+
+    def enumerate_candidates(
+        self, location_sets: Sequence[Sequence[T]]
+    ) -> Iterator[tuple[T, ...]]:
+        """The canonical candidate-query list (Eqn 6), lazily.
+
+        ``location_sets[i]`` is user i's length-d location set.  Yields
+        ``delta_prime`` candidate queries, each an n-tuple holding one
+        location per user, in the order :meth:`query_index` indexes.
+        """
+        if len(location_sets) != self.n:
+            raise ConfigurationError(
+                f"expected {self.n} location sets, got {len(location_sets)}"
+            )
+        for sets in location_sets:
+            if len(sets) != self.d:
+                raise ConfigurationError("every location set must have length d")
+        for segment, size in enumerate(self.params.segment_sizes):
+            offset = self.segment_offset(segment)
+            for positions in itertools.product(range(size), repeat=self.alpha):
+                yield tuple(
+                    location_sets[user][offset + positions[self._subgroup_of_user[user]]]
+                    for user in range(self.n)
+                )
+
+    def candidate_at(
+        self, location_sets: Sequence[Sequence[T]], query_index: int
+    ) -> tuple[T, ...]:
+        """Random access into the candidate list without enumerating it."""
+        segment, positions = self.position_of_index(query_index)
+        offset = self.segment_offset(segment)
+        return tuple(
+            location_sets[user][offset + positions[self._subgroup_of_user[user]]]
+            for user in range(self.n)
+        )

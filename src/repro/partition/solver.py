@@ -1,0 +1,194 @@
+"""Exact solver for the partition-parameter program of Eqns (7)-(10).
+
+The program: choose the subgroup count ``alpha <= n`` and segment sizes
+``(d_1, ..., d_beta)`` with ``sum d_i = d`` minimizing the candidate-query
+count ``delta' = sum d_i ** alpha`` subject to ``delta' >= delta``.
+
+The paper notes the problem is a nonlinear integer program (NP-hard in
+general) and precomputes solutions offline with the Bonmin MINLP solver.
+At the instance sizes that occur here (d <= 64) it is solvable *exactly*
+by dynamic programming: for each fixed ``alpha`` this is an unbounded
+knapsack over part sizes, where a part of size ``x`` has weight ``x`` and
+cost ``x ** alpha``, and we want the cheapest cost >= delta at total weight
+exactly d.  Partial cost sums only grow, so costs at or above the best
+bound found so far can be pruned.  Results are memoized, mirroring the
+paper's "compute once offline" usage.
+
+A brute-force enumerator over all integer partitions is included for
+property-testing the DP.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from functools import lru_cache
+
+from repro.errors import ConfigurationError, InfeasibleError
+
+
+@dataclass(frozen=True, slots=True)
+class PartitionParameters:
+    """The solved partition parameters {n-bar, d-bar} plus delta'.
+
+    ``subgroup_sizes`` partitions the n users into alpha subgroups and
+    ``segment_sizes`` partitions each length-d location set into beta
+    segments; ``delta_prime`` is the number of candidate queries LSP will
+    generate, guaranteed >= the requested delta.
+    """
+
+    subgroup_sizes: tuple[int, ...]
+    segment_sizes: tuple[int, ...]
+    delta_prime: int
+
+    @property
+    def alpha(self) -> int:
+        """Number of subgroups."""
+        return len(self.subgroup_sizes)
+
+    @property
+    def beta(self) -> int:
+        """Number of segments."""
+        return len(self.segment_sizes)
+
+    @property
+    def n(self) -> int:
+        return sum(self.subgroup_sizes)
+
+    @property
+    def d(self) -> int:
+        return sum(self.segment_sizes)
+
+    def __post_init__(self) -> None:
+        if not self.subgroup_sizes or min(self.subgroup_sizes) < 1:
+            raise ConfigurationError("subgroup sizes must be positive")
+        if not self.segment_sizes or min(self.segment_sizes) < 1:
+            raise ConfigurationError("segment sizes must be positive")
+        expected = sum(size**self.alpha for size in self.segment_sizes)
+        if expected != self.delta_prime:
+            raise ConfigurationError(
+                f"delta_prime {self.delta_prime} inconsistent with partition "
+                f"(expected {expected})"
+            )
+
+
+def _split_evenly(total: int, parts: int) -> tuple[int, ...]:
+    """Split ``total`` into ``parts`` positive integers differing by <= 1."""
+    base, extra = divmod(total, parts)
+    return tuple(base + 1 if i < extra else base for i in range(parts))
+
+
+def _best_segments_for_alpha(
+    d: int, delta: int, alpha: int, cap: int
+) -> tuple[int, tuple[int, ...]] | None:
+    """Cheapest segment multiset for a fixed alpha, or None when none beats ``cap``.
+
+    Unbounded-knapsack DP: ``states[w]`` maps an achievable cost (sum of
+    ``part ** alpha``) at total weight w to the non-increasing part tuple
+    realizing it.  Part sizes are processed in descending order so every
+    multiset is built exactly once (in non-increasing order).  Costs at or
+    above ``cap`` are pruned: partial costs only grow, so they cannot beat
+    the incumbent solution.  Returns the minimum cost >= delta at weight
+    exactly d, with the lexicographically smallest realizing partition as
+    the deterministic tie-break.
+    """
+    if d**alpha < delta:
+        return None  # even a single segment of size d cannot reach delta
+    states: list[dict[int, tuple[int, ...]]] = [dict() for _ in range(d + 1)]
+    states[0][0] = ()
+    for part in range(d, 0, -1):
+        part_cost = part**alpha
+        for weight in range(part, d + 1):
+            source = states[weight - part]
+            if not source:
+                continue
+            target = states[weight]
+            for cost, parts in list(source.items()):
+                if parts and parts[-1] < part:
+                    continue  # keep parts non-increasing: no duplicates
+                new_cost = cost + part_cost
+                if new_cost >= cap:
+                    continue
+                new_parts = parts + (part,)
+                existing = target.get(new_cost)
+                if existing is None or new_parts < existing:
+                    target[new_cost] = new_parts
+    feasible = [(cost, parts) for cost, parts in states[d].items() if cost >= delta]
+    if not feasible:
+        return None  # every feasible cost was >= cap: the incumbent wins
+    return min(feasible)
+
+
+@lru_cache(maxsize=4096)
+def solve_partition(n: int, d: int, delta: int) -> PartitionParameters:
+    """Solve Eqns (7)-(10) exactly and return the optimal parameters.
+
+    Ties on delta' prefer fewer subgroups (smaller alpha), then the
+    lexicographically smallest segment tuple, so the result is canonical.
+    Raises :class:`InfeasibleError` when ``delta > d ** n`` — the paper
+    requires users to choose a larger d in that case.
+    """
+    if n < 1:
+        raise ConfigurationError("n must be positive")
+    if d < 1:
+        raise ConfigurationError("d must be positive")
+    if delta < 1:
+        raise ConfigurationError("delta must be positive")
+    if delta > d**n:
+        raise InfeasibleError(
+            f"delta={delta} exceeds d**n={d**n}; pick a larger d (Section 4.1)"
+        )
+    best: tuple[int, int, tuple[int, ...]] | None = None  # (delta', alpha, segments)
+    cap = d**n + 1  # exclusive bound; any feasible solution beats the sentinel
+    for alpha in range(1, n + 1):
+        found = _best_segments_for_alpha(d, delta, alpha, cap)
+        if found is None:
+            continue
+        cost, parts = found
+        candidate = (cost, alpha, parts)
+        if best is None or candidate < best:
+            best = candidate
+            cap = cost + 1  # later alphas must strictly beat (ties lose on alpha)
+    if best is None:  # pragma: no cover - delta <= d**n guarantees feasibility
+        raise InfeasibleError(f"no feasible partition for (n={n}, d={d}, delta={delta})")
+    delta_prime, alpha, segments = best
+    return PartitionParameters(
+        subgroup_sizes=_split_evenly(n, alpha),
+        segment_sizes=segments,
+        delta_prime=delta_prime,
+    )
+
+
+def _partitions(total: int, max_part: int):
+    """All integer partitions of ``total`` with parts <= max_part (descending)."""
+    if total == 0:
+        yield ()
+        return
+    for part in range(min(total, max_part), 0, -1):
+        for rest in _partitions(total - part, part):
+            yield (part,) + rest
+
+
+def solve_partition_brute_force(n: int, d: int, delta: int) -> PartitionParameters:
+    """Reference solver: enumerate every (alpha, partition) pair.
+
+    Exponential in d; usable for d up to ~30.  Tests compare its optimum
+    against :func:`solve_partition`.
+    """
+    if delta > d**n:
+        raise InfeasibleError(f"delta={delta} exceeds d**n={d**n}")
+    best: tuple[int, int, tuple[int, ...]] | None = None
+    for alpha in range(1, n + 1):
+        for parts in _partitions(d, d):
+            cost = sum(p**alpha for p in parts)
+            if cost < delta:
+                continue
+            candidate = (cost, alpha, parts)
+            if best is None or candidate < best:
+                best = candidate
+    assert best is not None
+    delta_prime, alpha, segments = best
+    return PartitionParameters(
+        subgroup_sizes=_split_evenly(n, alpha),
+        segment_sizes=segments,
+        delta_prime=delta_prime,
+    )

@@ -1,0 +1,58 @@
+"""Multi-party protocol simulation with exact cost accounting.
+
+The paper reports three dominating costs (Section 8.1): total communication
+(bytes over every link, including user-to-user), total user computation
+(the sum over all group members, coordinator included), and LSP
+computation.  This package provides the bookkeeping substrate:
+
+- :mod:`~repro.protocol.messages` — typed protocol messages, each knowing
+  its exact wire size (locations are L_l = 16 bytes, eps_1 ciphertexts
+  L_e = 2 * keysize / 8 bytes, eps_2 ciphertexts 3 * keysize / 8),
+- :mod:`~repro.protocol.metrics` — the :class:`~repro.protocol.metrics.CostLedger`
+  that records message bytes per link, CPU time per role, and homomorphic
+  operation counts per role.
+
+Simulation is in-process: parties are plain objects, a "send" is a ledger
+record plus a method call.  Communication cost is therefore *exact* while
+computation cost is real measured CPU time of the party's code.
+"""
+
+from repro.protocol.messages import (
+    CIPHERTEXT_OVERHEAD,
+    FLOAT_BYTES,
+    INT_BYTES,
+    LOCATION_BYTES,
+    EncryptedAnswer,
+    GenericMessage,
+    GroupQueryRequest,
+    LocationSetUpload,
+    Message,
+    OptGroupQueryRequest,
+    OptSingleQueryRequest,
+    PlaintextAnswerBroadcast,
+    PositionAssignment,
+    SingleQueryRequest,
+)
+from repro.protocol.metrics import CostLedger, CostReport, TranscriptEntry
+from repro.protocol.transcript import format_transcript
+
+__all__ = [
+    "Message",
+    "GenericMessage",
+    "PositionAssignment",
+    "LocationSetUpload",
+    "GroupQueryRequest",
+    "OptGroupQueryRequest",
+    "OptSingleQueryRequest",
+    "SingleQueryRequest",
+    "EncryptedAnswer",
+    "PlaintextAnswerBroadcast",
+    "CostLedger",
+    "CostReport",
+    "TranscriptEntry",
+    "format_transcript",
+    "LOCATION_BYTES",
+    "INT_BYTES",
+    "FLOAT_BYTES",
+    "CIPHERTEXT_OVERHEAD",
+]

@@ -1,0 +1,211 @@
+"""Protocol messages and their exact wire sizes.
+
+Size conventions follow the paper's cost model (Sections 6-7 and 8.1):
+
+- a location is L_l = 16 bytes (two float64 coordinates),
+- an eps_s ciphertext is ``(s + 1) * keysize / 8`` bytes (an element of
+  ``Z_{N^{s+1}}``), so L_e = 2 * keysize / 8 for eps_1,
+- small scalars (counts, ids, positions) are 4 bytes, parameters 8 bytes,
+- a returned plaintext POI is 8 bytes (the paper returns coordinates at
+  8 bytes per POI).
+
+Every message type computes its size from its actual content, so the
+benchmark's communication numbers are measurements, not formulas.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Protocol, Sequence
+
+from repro.crypto.paillier import Ciphertext, PaillierPublicKey
+from repro.encoding.answers import DecodedAnswer
+from repro.errors import ProtocolError
+from repro.geometry.point import Point
+
+#: Bytes per transmitted location (two float64 coordinates) — the paper's L_l.
+LOCATION_BYTES = 16
+#: Bytes per small integer field (ids, counts, positions).
+INT_BYTES = 4
+#: Bytes per scalar parameter (theta0 and friends).
+FLOAT_BYTES = 8
+#: Bytes per returned plaintext POI (coordinates, as in Section 8.1).
+POI_BYTES = 8
+#: Fixed framing bytes we charge per ciphertext (level tag); zero keeps the
+#: accounting aligned with the paper's pure-payload model.
+CIPHERTEXT_OVERHEAD = 0
+
+
+class Message(Protocol):
+    """Anything with a wire size can cross a channel."""
+
+    @property
+    def byte_size(self) -> int: ...
+
+
+def ciphertext_vector_bytes(ciphertexts: Sequence[Ciphertext]) -> int:
+    """Total payload bytes of a ciphertext vector."""
+    return sum(c.byte_size + CIPHERTEXT_OVERHEAD for c in ciphertexts)
+
+
+@dataclass(frozen=True, slots=True)
+class GenericMessage:
+    """An explicitly sized message for baseline protocols."""
+
+    kind: str
+    size: int
+
+    @property
+    def byte_size(self) -> int:
+        return self.size
+
+
+@dataclass(frozen=True, slots=True)
+class PositionAssignment:
+    """Coordinator -> subgroup user: the absolute slot pos_j for the real location."""
+
+    position: int
+
+    @property
+    def byte_size(self) -> int:
+        return INT_BYTES
+
+
+@dataclass(frozen=True, slots=True)
+class LocationSetUpload:
+    """User -> LSP: the user id and the length-d location set L_i."""
+
+    user_id: int
+    locations: tuple[Point, ...]
+
+    @property
+    def byte_size(self) -> int:
+        return INT_BYTES + LOCATION_BYTES * len(self.locations)
+
+
+@dataclass(frozen=True, slots=True)
+class SingleQueryRequest:
+    """User -> LSP for n = 1 (Section 3.2): {k, L, pk, [v]}.
+
+    The location set rides inside this message (single user, no subgroup
+    machinery); the indicator has length d.
+    """
+
+    k: int
+    public_key: PaillierPublicKey
+    locations: tuple[Point, ...]
+    indicator: tuple[Ciphertext, ...]
+
+    @property
+    def byte_size(self) -> int:
+        return (
+            INT_BYTES
+            + self.public_key.key_bits // 8
+            + LOCATION_BYTES * len(self.locations)
+            + ciphertext_vector_bytes(self.indicator)
+        )
+
+
+@dataclass(frozen=True, slots=True)
+class OptSingleQueryRequest:
+    """User -> LSP for single-user PPGNN-OPT: {k, L, pk, [v1], [[v2]]}."""
+
+    k: int
+    public_key: PaillierPublicKey
+    locations: tuple[Point, ...]
+    inner_indicator: tuple[Ciphertext, ...]
+    outer_indicator: tuple[Ciphertext, ...]
+
+    def __post_init__(self) -> None:
+        if any(c.s != 1 for c in self.inner_indicator):
+            raise ProtocolError("inner indicator must be eps_1 ciphertexts")
+        if any(c.s != 2 for c in self.outer_indicator):
+            raise ProtocolError("outer indicator must be eps_2 ciphertexts")
+
+    @property
+    def byte_size(self) -> int:
+        return (
+            INT_BYTES
+            + self.public_key.key_bits // 8
+            + LOCATION_BYTES * len(self.locations)
+            + ciphertext_vector_bytes(self.inner_indicator)
+            + ciphertext_vector_bytes(self.outer_indicator)
+        )
+
+
+@dataclass(frozen=True, slots=True)
+class GroupQueryRequest:
+    """Coordinator -> LSP (Algorithm 1 line 11): {k, pk, n-bar, d-bar, [v], theta0}."""
+
+    k: int
+    public_key: PaillierPublicKey
+    subgroup_sizes: tuple[int, ...]
+    segment_sizes: tuple[int, ...]
+    indicator: tuple[Ciphertext, ...]
+    theta0: float | None
+
+    @property
+    def byte_size(self) -> int:
+        return (
+            INT_BYTES
+            + self.public_key.key_bits // 8
+            + INT_BYTES * (len(self.subgroup_sizes) + len(self.segment_sizes))
+            + ciphertext_vector_bytes(self.indicator)
+            + FLOAT_BYTES
+        )
+
+
+@dataclass(frozen=True, slots=True)
+class OptGroupQueryRequest:
+    """Coordinator -> LSP for PPGNN-OPT (Section 6): the two small indicators.
+
+    ``inner_indicator`` is the eps_1 vector [v1] over within-block positions
+    and ``outer_indicator`` the eps_2 vector [[v2]] over blocks.
+    """
+
+    k: int
+    public_key: PaillierPublicKey
+    subgroup_sizes: tuple[int, ...]
+    segment_sizes: tuple[int, ...]
+    inner_indicator: tuple[Ciphertext, ...]
+    outer_indicator: tuple[Ciphertext, ...]
+    theta0: float | None
+
+    def __post_init__(self) -> None:
+        if any(c.s != 1 for c in self.inner_indicator):
+            raise ProtocolError("inner indicator must be eps_1 ciphertexts")
+        if any(c.s != 2 for c in self.outer_indicator):
+            raise ProtocolError("outer indicator must be eps_2 ciphertexts")
+
+    @property
+    def byte_size(self) -> int:
+        return (
+            INT_BYTES
+            + self.public_key.key_bits // 8
+            + INT_BYTES * (len(self.subgroup_sizes) + len(self.segment_sizes))
+            + ciphertext_vector_bytes(self.inner_indicator)
+            + ciphertext_vector_bytes(self.outer_indicator)
+            + FLOAT_BYTES
+        )
+
+
+@dataclass(frozen=True, slots=True)
+class EncryptedAnswer:
+    """LSP -> coordinator: the m selected answer ciphertexts [a*]."""
+
+    ciphertexts: tuple[Ciphertext, ...]
+
+    @property
+    def byte_size(self) -> int:
+        return ciphertext_vector_bytes(self.ciphertexts)
+
+
+@dataclass(frozen=True, slots=True)
+class PlaintextAnswerBroadcast:
+    """Coordinator -> each user: the decrypted, decoded answer."""
+
+    answers: tuple[DecodedAnswer, ...] = field(default=())
+
+    @property
+    def byte_size(self) -> int:
+        return INT_BYTES + POI_BYTES * len(self.answers)

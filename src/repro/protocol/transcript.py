@@ -1,0 +1,50 @@
+"""Human-readable protocol transcripts.
+
+Every :class:`~repro.protocol.metrics.CostLedger` records the ordered
+sequence of messages that crossed its links; this module renders that
+sequence as a compact message-flow diagram — the executable counterpart of
+the paper's Algorithm 1/2 narration, used by ``examples/protocol_trace.py``
+and handy when debugging a new protocol variant.
+
+Consecutive identical messages over the same link (e.g. the n location-set
+uploads) are collapsed into one annotated line.
+"""
+
+from __future__ import annotations
+
+from repro.protocol.metrics import CostReport, TranscriptEntry
+
+
+def _collapse(entries: tuple[TranscriptEntry, ...]):
+    """Group runs of identical (sender, receiver, kind) messages."""
+    grouped: list[tuple[TranscriptEntry, int, int]] = []
+    for entry in entries:
+        if (
+            grouped
+            and grouped[-1][0].sender == entry.sender
+            and grouped[-1][0].receiver == entry.receiver
+            and grouped[-1][0].kind == entry.kind
+        ):
+            head, count, total = grouped[-1]
+            grouped[-1] = (head, count + 1, total + entry.byte_size)
+        else:
+            grouped.append((entry, 1, entry.byte_size))
+    return grouped
+
+
+def format_transcript(report: CostReport) -> str:
+    """Render a cost report's message sequence as an arrow diagram."""
+    if not report.transcript:
+        return "(no messages recorded)"
+    lines = []
+    width = max(
+        len(f"{e.sender} -> {e.receiver}") for e in report.transcript
+    )
+    for head, count, total in _collapse(report.transcript):
+        link = f"{head.sender} -> {head.receiver}"
+        multiplier = f" x{count}" if count > 1 else ""
+        lines.append(
+            f"  {link.ljust(width)}  {head.kind}{multiplier}  ({total} B)"
+        )
+    lines.append(f"  {'total'.ljust(width)}  {report.total_comm_bytes} B")
+    return "\n".join(lines)

@@ -1,0 +1,21 @@
+"""Road-network distance substrate.
+
+Section 2.1 defines the kGNN query over any metric space and names
+road-network distance [38] as the alternative to Euclidean distance.  This
+package provides that metric: a :class:`~repro.roadnet.network.RoadNetwork`
+(a weighted graph over the location space with snapping and cached
+shortest-path distances) and a
+:class:`~repro.roadnet.engine.RoadNetworkEngine` that answers exact kGNN
+queries under it — a drop-in for the protocol's query black box.
+
+Privacy IV carries over: :class:`~repro.roadnet.sanitize.RoadNetworkSanitizer`
+evaluates the inequality attack under the road metric (snap-grid sampling +
+cached Dijkstra tables), so the full PPGNN protocol — sanitation included —
+runs on road networks.
+"""
+
+from repro.roadnet.engine import RoadNetworkEngine
+from repro.roadnet.network import RoadNetwork
+from repro.roadnet.sanitize import RoadNetworkSanitizer
+
+__all__ = ["RoadNetwork", "RoadNetworkEngine", "RoadNetworkSanitizer"]

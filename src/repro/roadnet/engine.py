@@ -1,0 +1,87 @@
+"""Exact kGNN query answering under road-network distance.
+
+Implements the same duck-typed interface as
+:class:`~repro.gnn.engine.GNNQueryEngine` (``query``, ``poi_by_id``,
+``insert``, ``delete``), so it drops into the LSP as the protocol's query
+black box.  Evaluation: one Dijkstra per distinct query location (cached in
+the network), then a linear aggregate-and-rank over the POIs — the
+standard baseline for aggregate NN in road networks [38].
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.datasets.poi import POI
+from repro.errors import ConfigurationError
+from repro.geometry.point import Point
+from repro.gnn.aggregate import SUM, Aggregate
+from repro.roadnet.network import RoadNetwork
+
+
+class RoadNetworkEngine:
+    """kGNN over a POI database measured by road distance."""
+
+    def __init__(
+        self,
+        pois: Sequence[POI],
+        network: RoadNetwork,
+        aggregate: Aggregate = SUM,
+    ) -> None:
+        if not pois:
+            raise ConfigurationError("the POI database must be non-empty")
+        self.network = network
+        self.aggregate = aggregate
+        self._by_id: dict[int, POI] = {}
+        self._poi_nodes: dict[int, int] = {}
+        for poi in pois:
+            self._add(poi)
+
+    def _add(self, poi: POI) -> None:
+        if poi.poi_id in self._by_id:
+            raise ConfigurationError(f"poi_id {poi.poi_id} already present")
+        self._by_id[poi.poi_id] = poi
+        self._poi_nodes[poi.poi_id] = self.network.snap(poi.location)
+
+    def __len__(self) -> int:
+        return len(self._by_id)
+
+    def poi_by_id(self, poi_id: int) -> POI:
+        """Resolve a POI id."""
+        try:
+            return self._by_id[poi_id]
+        except KeyError:
+            raise ConfigurationError(f"unknown poi_id {poi_id}") from None
+
+    def query(self, k: int, locations: Sequence[Point]) -> list[POI]:
+        """The top-``k`` POIs by ascending aggregate *road* distance.
+
+        Ties break on POI location then id, mirroring the Euclidean engine.
+        """
+        if k < 1:
+            raise ConfigurationError("k must be positive")
+        if not locations:
+            raise ConfigurationError("kGNN query needs at least one location")
+        k = min(k, len(self._by_id))
+        user_tables = [
+            self.network.distances_from(self.network.snap(loc)) for loc in locations
+        ]
+        scored = []
+        for poi_id, poi in self._by_id.items():
+            node = self._poi_nodes[poi_id]
+            cost = self.aggregate(table[node] for table in user_tables)
+            scored.append((cost, poi.location, poi_id, poi))
+        scored.sort(key=lambda t: t[:3])
+        return [poi for _, _, _, poi in scored[:k]]
+
+    def insert(self, poi: POI) -> None:
+        """Add a POI (visible to the next query — the dynamic-DB story)."""
+        self._add(poi)
+
+    def delete(self, poi: POI) -> bool:
+        """Remove a POI; returns False when absent."""
+        if poi.poi_id not in self._by_id:
+            return False
+        del self._by_id[poi.poi_id]
+        del self._poi_nodes[poi.poi_id]
+        return True

@@ -1,0 +1,132 @@
+"""A road network over the location space.
+
+Built on networkx: nodes carry planar coordinates, edges carry their
+Euclidean length, and the road distance between two locations is the
+shortest-path length between their nearest ("snapped") network nodes.
+Single-source Dijkstra results are memoized, so repeated queries against
+the same node (the hot pattern in kGNN evaluation) cost one graph search.
+"""
+
+from __future__ import annotations
+
+import networkx as nx
+import numpy as np
+
+from repro.errors import ConfigurationError
+from repro.geometry.point import Point
+from repro.geometry.space import LocationSpace
+from repro.gnn.knn import best_first_knn
+from repro.index.rtree import RTree
+
+
+class RoadNetwork:
+    """A connected, weighted road graph over a location space."""
+
+    def __init__(self, graph: nx.Graph, space: LocationSpace) -> None:
+        if graph.number_of_nodes() == 0:
+            raise ConfigurationError("road network needs at least one node")
+        if not nx.is_connected(graph):
+            raise ConfigurationError("road network must be connected")
+        for node, data in graph.nodes(data=True):
+            if "point" not in data:
+                raise ConfigurationError(f"node {node} lacks a 'point' attribute")
+        self.graph = graph
+        self.space = space
+        self._snap_index = RTree(max_entries=16)
+        self._snap_index.bulk_load(
+            (data["point"], node) for node, data in graph.nodes(data=True)
+        )
+        self._sssp_cache: dict[int, dict[int, float]] = {}
+
+    # ------------------------------------------------------------ builders
+
+    @classmethod
+    def grid(
+        cls,
+        space: LocationSpace | None = None,
+        nodes_per_side: int = 20,
+        jitter: float = 0.3,
+        drop_fraction: float = 0.1,
+        seed: int = 0,
+    ) -> "RoadNetwork":
+        """A jittered grid road network (the classic synthetic road model).
+
+        ``jitter`` perturbs intersection coordinates within their cell;
+        ``drop_fraction`` removes that share of edges (only where the graph
+        stays connected), producing irregular blocks and detours.
+        """
+        if nodes_per_side < 2:
+            raise ConfigurationError("need at least a 2 x 2 road grid")
+        if not 0.0 <= drop_fraction < 1.0:
+            raise ConfigurationError("drop_fraction must be in [0, 1)")
+        space = space or LocationSpace.unit_square()
+        rng = np.random.default_rng(seed)
+        bounds = space.bounds
+        g = nodes_per_side
+        step_x = bounds.width / (g - 1)
+        step_y = bounds.height / (g - 1)
+        graph = nx.Graph()
+        for row in range(g):
+            for col in range(g):
+                dx = rng.uniform(-0.5, 0.5) * step_x * jitter
+                dy = rng.uniform(-0.5, 0.5) * step_y * jitter
+                x = min(max(bounds.xmin + col * step_x + dx, bounds.xmin), bounds.xmax)
+                y = min(max(bounds.ymin + row * step_y + dy, bounds.ymin), bounds.ymax)
+                graph.add_node(row * g + col, point=Point(float(x), float(y)))
+
+        def link(a: int, b: int) -> None:
+            pa = graph.nodes[a]["point"]
+            pb = graph.nodes[b]["point"]
+            graph.add_edge(a, b, weight=pa.distance_to(pb))
+
+        for row in range(g):
+            for col in range(g):
+                node = row * g + col
+                if col + 1 < g:
+                    link(node, node + 1)
+                if row + 1 < g:
+                    link(node, node + g)
+
+        edges = list(graph.edges())
+        rng.shuffle(edges)
+        to_drop = int(len(edges) * drop_fraction)
+        dropped = 0
+        for a, b in edges:
+            if dropped >= to_drop:
+                break
+            weight = graph.edges[a, b]["weight"]
+            graph.remove_edge(a, b)
+            if nx.is_connected(graph):
+                dropped += 1
+            else:
+                graph.add_edge(a, b, weight=weight)
+        return cls(graph, space)
+
+    # ------------------------------------------------------------- queries
+
+    def node_point(self, node: int) -> Point:
+        """Coordinates of a network node."""
+        return self.graph.nodes[node]["point"]
+
+    def snap(self, location: Point) -> int:
+        """The network node nearest to ``location``."""
+        result = best_first_knn(self._snap_index, location, 1)
+        return result[0][1]
+
+    def distances_from(self, node: int) -> dict[int, float]:
+        """Shortest-path distances from ``node`` to every node (memoized)."""
+        cached = self._sssp_cache.get(node)
+        if cached is None:
+            cached = nx.single_source_dijkstra_path_length(
+                self.graph, node, weight="weight"
+            )
+            self._sssp_cache[node] = cached
+        return cached
+
+    def distance(self, a: Point, b: Point) -> float:
+        """Road distance between two locations (via their snapped nodes)."""
+        return self.distances_from(self.snap(a))[self.snap(b)]
+
+    def clear_cache(self) -> None:
+        """Drop memoized shortest paths (after editing the graph)."""
+        self._sssp_cache.clear()

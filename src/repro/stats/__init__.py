@@ -1,0 +1,21 @@
+"""Statistical machinery for the answer sanitation (Section 5.3).
+
+The LSP decides whether an attacked user's feasible region exceeds the
+``theta_0`` fraction of the space by a one-tailed Z-test over Monte-Carlo
+samples; the sample size comes from the Fleiss formula the paper cites
+(Theorem 5.1).
+"""
+
+from repro.stats.hypothesis import (
+    SanitationTestPlan,
+    normal_quantile,
+    rejection_threshold,
+    required_sample_size,
+)
+
+__all__ = [
+    "normal_quantile",
+    "required_sample_size",
+    "rejection_threshold",
+    "SanitationTestPlan",
+]

@@ -1,0 +1,74 @@
+"""Tests for the benchmark harness utilities."""
+
+import numpy as np
+import pytest
+
+from repro.bench.harness import (
+    BenchSettings,
+    average_runs,
+    format_bytes,
+    format_seconds,
+    measure_protocol,
+    print_series_table,
+)
+from repro.core.group import random_group, run_ppgnn
+
+
+class TestSettings:
+    def test_defaults(self):
+        s = BenchSettings()
+        assert s.pois == 20_000 and s.keysize == 256
+
+    def test_env_overrides(self, monkeypatch):
+        monkeypatch.setenv("REPRO_BENCH_POIS", "500")
+        monkeypatch.setenv("REPRO_BENCH_KEYSIZE", "128")
+        monkeypatch.setenv("REPRO_BENCH_REPEATS", "2")
+        monkeypatch.setenv("REPRO_BENCH_SAMPLES", "100")
+        s = BenchSettings.from_env()
+        assert (s.pois, s.keysize, s.repeats, s.sanitation_samples) == (500, 128, 2, 100)
+
+    def test_samples_zero_means_exact(self, monkeypatch):
+        monkeypatch.setenv("REPRO_BENCH_SAMPLES", "0")
+        assert BenchSettings.from_env().sanitation_samples is None
+
+
+class TestMeasurement:
+    def test_measure_protocol_averages_runs(self, lsp, fast_config):
+        group = random_group(3, lsp.space, np.random.default_rng(5))
+        measured = measure_protocol(
+            lambda seed: run_ppgnn(lsp, group, fast_config, seed=seed),
+            repeats=3,
+        )
+        assert measured.comm_bytes > 0
+        assert measured.user_seconds > 0
+        assert measured.lsp_seconds > 0
+        assert len(measured.answer_lengths) == 3
+        assert 0 < measured.mean_answer_length <= fast_config.k
+
+    def test_average_runs_arithmetic(self, lsp, fast_config):
+        group = random_group(3, lsp.space, np.random.default_rng(6))
+        a = run_ppgnn(lsp, group, fast_config, seed=1).report
+        b = run_ppgnn(lsp, group, fast_config, seed=2).report
+        averaged = average_runs([a, b], [4, 2])
+        assert averaged.comm_bytes == pytest.approx(
+            (a.total_comm_bytes + b.total_comm_bytes) / 2
+        )
+        assert averaged.mean_answer_length == 3
+
+
+class TestFormatting:
+    def test_format_bytes(self):
+        assert format_bytes(512) == "512 B"
+        assert format_bytes(2048) == "2.00 KiB"
+        assert format_bytes(3 * 1024 * 1024) == "3.00 MiB"
+
+    def test_format_seconds(self):
+        assert format_seconds(2.5) == "2.50 s"
+        assert format_seconds(0.0042) == "4.20 ms"
+
+    def test_print_series_table_runs(self, capsys):
+        print_series_table(
+            "Demo", "k", [2, 4], {"ppgnn": ["1 B", "2 B"], "opt": ["3 B", "4 B"]}
+        )
+        out = capsys.readouterr().out
+        assert "Demo" in out and "ppgnn" in out and "4 B" in out

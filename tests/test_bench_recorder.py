@@ -1,0 +1,42 @@
+"""Tests for the benchmark series recorder."""
+
+from repro.bench.recorder import SeriesRecorder
+
+
+class TestSeriesRecorder:
+    def test_record_creates_file(self, tmp_path, capsys):
+        recorder = SeriesRecorder(tmp_path)
+        recorder.record(
+            "exp1", "Demo title", "k", [1, 2], {"proto": ["1 B", "2 B"]}
+        )
+        content = (tmp_path / "exp1.txt").read_text()
+        assert "Demo title" in content
+        assert "proto: ['1 B', '2 B']" in content
+        assert "Demo title" in capsys.readouterr().out
+
+    def test_first_write_truncates_then_appends(self, tmp_path):
+        recorder = SeriesRecorder(tmp_path)
+        (tmp_path / "exp2.txt").write_text("stale content from last run\n")
+        recorder.record("exp2", "A", "x", [1], {"s": ["1"]})
+        recorder.record("exp2", "B", "x", [1], {"s": ["2"]})
+        content = (tmp_path / "exp2.txt").read_text()
+        assert "stale" not in content
+        assert "=== A ===" in content and "=== B ===" in content
+
+    def test_notes_recorded(self, tmp_path):
+        recorder = SeriesRecorder(tmp_path)
+        recorder.record(
+            "exp3", "T", "x", [1], {"s": ["1"]}, notes="caveat emptor"
+        )
+        assert "note: caveat emptor" in (tmp_path / "exp3.txt").read_text()
+
+    def test_note_method(self, tmp_path, capsys):
+        recorder = SeriesRecorder(tmp_path)
+        recorder.note("exp4", "free-form line")
+        assert "free-form line" in (tmp_path / "exp4.txt").read_text()
+        assert "free-form line" in capsys.readouterr().out
+
+    def test_directory_created(self, tmp_path):
+        target = tmp_path / "nested" / "dir"
+        SeriesRecorder(target)
+        assert target.is_dir()

@@ -1,0 +1,86 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+def run_cli(args):
+    return main(args)
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_version_flag(self, capsys):
+        with pytest.raises(SystemExit) as exc:
+            build_parser().parse_args(["--version"])
+        assert exc.value.code == 0
+        assert "repro" in capsys.readouterr().out
+
+    def test_unknown_protocol_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["query", "--protocol", "carrier-pigeon"])
+
+
+class TestInfo:
+    def test_info_output(self, capsys):
+        assert run_cli(["info"]) == 0
+        out = capsys.readouterr().out
+        assert "EDBT 2018" in out
+        assert "d=25" in out
+
+
+class TestSolve:
+    def test_solve_paper_example(self, capsys):
+        assert run_cli(["solve", "--n", "4", "--d", "4", "--delta", "8"]) == 0
+        out = capsys.readouterr().out
+        assert "delta' (candidates): 8" in out
+        assert "(2, 2)" in out
+
+    def test_solve_infeasible_is_reported(self, capsys):
+        assert run_cli(["solve", "--n", "2", "--d", "3", "--delta", "100"]) == 2
+        assert "error:" in capsys.readouterr().err
+
+
+class TestQuery:
+    COMMON = [
+        "--pois", "400", "--d", "4", "--delta", "12", "--k", "3",
+        "--keysize", "128", "--seed", "3",
+    ]
+
+    @pytest.mark.parametrize("protocol", ["ppgnn", "opt", "naive", "nas"])
+    def test_group_query_protocols(self, capsys, protocol):
+        code = run_cli(["query", "--n", "3", "--protocol", protocol, *self.COMMON])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "answer (" in out
+        assert "communication" in out
+
+    def test_single_user_query(self, capsys):
+        assert run_cli(["query", "--n", "1", *self.COMMON]) == 0
+        out = capsys.readouterr().out
+        assert "candidate queries : 4" in out
+
+    def test_max_aggregate(self, capsys):
+        code = run_cli(
+            ["query", "--n", "2", "--aggregate", "max", *self.COMMON]
+        )
+        assert code == 0
+
+
+class TestAttack:
+    def test_attack_demo_runs(self, capsys):
+        code = run_cli(
+            [
+                "attack", "--pois", "400", "--n", "4", "--d", "4",
+                "--delta", "12", "--k", "4", "--keysize", "128",
+                "--samples", "2000", "--seed", "5",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "without sanitation" in out
+        assert "with sanitation" in out

@@ -1,0 +1,165 @@
+"""Tests for the answer sanitation (Sections 5.2-5.3)."""
+
+import numpy as np
+import pytest
+
+from repro.core.sanitize import AnswerSanitizer
+from repro.datasets.synthetic import uniform_pois
+from repro.geometry.point import Point
+from repro.geometry.space import LocationSpace
+from repro.gnn.aggregate import MAX, MIN, SUM, Aggregate
+from repro.gnn.engine import GNNQueryEngine
+from repro.stats.hypothesis import SanitationTestPlan
+
+
+@pytest.fixture(scope="module")
+def space():
+    return LocationSpace.unit_square()
+
+
+@pytest.fixture(scope="module")
+def engine():
+    return GNNQueryEngine(uniform_pois(800, seed=21))
+
+
+def make_sanitizer(space, aggregate=SUM, theta0=0.05, samples=2500, seed=0):
+    plan = SanitationTestPlan.from_parameters(theta0, n_samples_override=samples)
+    return AnswerSanitizer(space, aggregate, plan, np.random.default_rng(seed))
+
+
+def spread_group(n, seed=3):
+    rng = np.random.default_rng(seed)
+    return [Point(float(x), float(y)) for x, y in rng.uniform(0, 1, (n, 2))]
+
+
+class TestSanitizeBasics:
+    def test_prefix_is_a_prefix(self, space, engine):
+        sanitizer = make_sanitizer(space)
+        group = spread_group(6)
+        pois = engine.query(8, group)
+        outcome = sanitizer.sanitize(pois, group)
+        assert list(outcome.prefix) == pois[: len(outcome.prefix)]
+
+    def test_prefix_never_empty(self, space, engine):
+        """t = 1 has no inequalities and is always safe (Section 5.2)."""
+        sanitizer = make_sanitizer(space, theta0=0.99)  # brutally strict
+        group = spread_group(4)
+        pois = engine.query(8, group)
+        outcome = sanitizer.sanitize(pois, group)
+        assert len(outcome.prefix) >= 1
+
+    def test_single_user_passthrough(self, space, engine):
+        """No Privacy IV with n = 1: the full answer returns unsanitized."""
+        sanitizer = make_sanitizer(space)
+        target = Point(0.4, 0.4)
+        pois = engine.query(8, [target])
+        outcome = sanitizer.sanitize(pois, [target])
+        assert list(outcome.prefix) == pois
+
+    def test_single_poi_passthrough(self, space, engine):
+        sanitizer = make_sanitizer(space)
+        group = spread_group(4)
+        pois = engine.query(1, group)
+        assert list(sanitizer.sanitize(pois, group).prefix) == pois
+
+    def test_overall_is_min_over_targets(self, space, engine):
+        sanitizer = make_sanitizer(space)
+        group = spread_group(5)
+        pois = engine.query(8, group)
+        outcome = sanitizer.sanitize(pois, group)
+        assert len(outcome.prefix) == min(outcome.safe_lengths)
+        assert len(outcome.safe_lengths) == len(group)
+
+
+class TestSanitizeSemantics:
+    def test_stricter_theta_shortens_prefix(self, space, engine):
+        """Figure 7c: larger theta0 -> fewer POIs returned (monotone trend)."""
+        group = spread_group(8, seed=5)
+        pois = engine.query(8, group)
+        lengths = []
+        for theta0 in (0.01, 0.05, 0.2, 0.5):
+            sanitizer = make_sanitizer(space, theta0=theta0, seed=1)
+            lengths.append(len(sanitizer.sanitize(pois, group).prefix))
+        assert lengths == sorted(lengths, reverse=True)
+
+    def test_close_group_keeps_more_than_strict_theta(self, space, engine):
+        """A tiny theta0 should allow several POIs through."""
+        group = spread_group(8, seed=5)
+        pois = engine.query(8, group)
+        sanitizer = make_sanitizer(space, theta0=0.01, seed=1)
+        assert len(sanitizer.sanitize(pois, group).prefix) >= 2
+
+    @pytest.mark.parametrize("aggregate", [SUM, MAX, MIN], ids=lambda a: a.name)
+    def test_all_builtin_aggregates_supported(self, space, aggregate, engine):
+        engine_local = GNNQueryEngine(uniform_pois(800, seed=21), aggregate=aggregate)
+        sanitizer = make_sanitizer(space, aggregate=aggregate)
+        group = spread_group(4, seed=9)
+        pois = engine_local.query(6, group)
+        outcome = sanitizer.sanitize(pois, group)
+        assert 1 <= len(outcome.prefix) <= 6
+
+    def test_generic_aggregate_fallback_matches_decomposable(self, space, engine):
+        """A sum aggregate without partial/merge must sanitize identically."""
+        opaque_sum = Aggregate(
+            "opaque-sum", lambda ds: float(sum(ds)), lambda m: m.sum(axis=1)
+        )
+        group = spread_group(5, seed=13)
+        pois = engine.query(8, group)
+        plan = SanitationTestPlan.from_parameters(0.05, n_samples_override=2500)
+        xs, ys = space.sample_arrays(2500, np.random.default_rng(42))
+        fast = AnswerSanitizer(space, SUM, plan, np.random.default_rng(0))
+        slow = AnswerSanitizer(space, opaque_sum, plan, np.random.default_rng(0))
+        out_fast = fast._sanitize_with_samples(pois, group, xs, ys)
+        out_slow = slow._sanitize_with_samples(pois, group, xs, ys)
+        assert out_fast == out_slow
+
+
+class TestEarlyStopAgainstBatch:
+    def test_same_prefix_on_shared_samples(self, space, engine):
+        """The incremental (paper) path and the batched path must truncate
+        identically when fed the same Monte-Carlo samples."""
+        for seed in range(6):
+            group = spread_group(5, seed=seed)
+            pois = engine.query(8, group)
+            sanitizer = make_sanitizer(space, samples=1500)
+            xs, ys = space.sample_arrays(1500, np.random.default_rng(100 + seed))
+            incremental = sanitizer._sanitize_incremental(pois, group, xs, ys)
+            batched = sanitizer._sanitize_with_samples(pois, group, xs, ys)
+            assert incremental.prefix == batched.prefix
+            assert min(incremental.safe_lengths) == min(batched.safe_lengths)
+
+    def test_default_mode_is_early_stop(self, space):
+        assert make_sanitizer(space).early_stop
+
+    def test_prefix_invariant_holds_in_both_modes(self, space, engine):
+        group = spread_group(6, seed=21)
+        pois = engine.query(8, group)
+        for early_stop in (True, False):
+            plan = SanitationTestPlan.from_parameters(0.05, n_samples_override=1200)
+            sanitizer = AnswerSanitizer(
+                space, SUM, plan, np.random.default_rng(3), early_stop=early_stop
+            )
+            outcome = sanitizer.sanitize(pois, group)
+            assert len(outcome.prefix) == min(outcome.safe_lengths)
+
+
+class TestVectorizedAgainstScalar:
+    def test_identical_on_shared_samples(self, space, engine):
+        """The numpy path must equal the pure-Python reference bit-for-bit."""
+        group = spread_group(4, seed=17)
+        pois = engine.query(6, group)
+        sanitizer = make_sanitizer(space, samples=400)
+        xs, ys = space.sample_arrays(400, np.random.default_rng(8))
+        vectorized = sanitizer._sanitize_with_samples(pois, group, xs, ys)
+        scalar = sanitizer.sanitize_scalar(pois, group, xs, ys)
+        assert vectorized == scalar
+
+    def test_scalar_validates_sample_count(self, space, engine):
+        from repro.errors import ConfigurationError
+
+        group = spread_group(3)
+        pois = engine.query(4, group)
+        sanitizer = make_sanitizer(space, samples=400)
+        xs, ys = space.sample_arrays(10, np.random.default_rng(0))
+        with pytest.raises(ConfigurationError):
+            sanitizer.sanitize_scalar(pois, group, xs, ys)

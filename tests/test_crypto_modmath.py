@@ -1,0 +1,70 @@
+"""Tests for the modular-arithmetic helpers."""
+
+import math
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.crypto.modmath import crt_pair, egcd, factorial_inverse_table, invmod, lcm
+from repro.errors import CryptoError
+
+positive = st.integers(min_value=1, max_value=10**12)
+
+
+class TestEgcd:
+    @given(st.integers(min_value=0, max_value=10**12), st.integers(min_value=0, max_value=10**12))
+    def test_bezout_identity(self, a, b):
+        g, x, y = egcd(a, b)
+        assert g == math.gcd(a, b)
+        assert a * x + b * y == g
+
+    def test_zero_cases(self):
+        assert egcd(0, 5)[0] == 5
+        assert egcd(7, 0)[0] == 7
+
+
+class TestInvmod:
+    @given(positive, positive)
+    def test_inverse_property(self, a, n):
+        if n < 2 or math.gcd(a, n) != 1:
+            return
+        inv = invmod(a, n)
+        assert (a * inv) % n == 1
+        assert 0 <= inv < n
+
+    def test_noninvertible_raises(self):
+        with pytest.raises(CryptoError):
+            invmod(4, 8)
+
+    def test_negative_argument(self):
+        assert invmod(-3, 7) == invmod(4, 7)
+
+
+class TestLcmCrt:
+    @given(positive, positive)
+    def test_lcm_divisibility(self, a, b):
+        m = lcm(a, b)
+        assert m % a == 0 and m % b == 0
+        assert m * math.gcd(a, b) == a * b
+
+    @given(st.integers(min_value=0, max_value=1000))
+    def test_crt_pair_reconstruction(self, x):
+        m1, m2 = 17, 256  # coprime
+        value = x % (m1 * m2)
+        assert crt_pair(value % m1, m1, value % m2, m2) == value
+
+    def test_crt_rejects_non_coprime(self):
+        with pytest.raises(CryptoError):
+            crt_pair(1, 4, 3, 6)
+
+
+class TestFactorialInverses:
+    def test_inverse_table_values(self):
+        modulus = 10**9 + 7  # prime, so all inverses exist
+        table = factorial_inverse_table(6, modulus)
+        fact = 1
+        for k in range(1, 7):
+            fact *= k
+            assert (fact * table[k]) % modulus == 1
+        assert table[0] == 1

@@ -1,0 +1,102 @@
+"""Tests for offline nonce precomputation."""
+
+import random
+import time
+
+import pytest
+
+from repro.crypto.noncepool import NoncePool, encrypt_with_pool, pooled_indicator
+from repro.crypto.paillier import generate_keypair
+from repro.errors import ConfigurationError, CryptoError
+
+
+@pytest.fixture(scope="module")
+def kp():
+    return generate_keypair(256, seed=2468)
+
+
+class TestNoncePool:
+    def test_refill_and_take(self, kp):
+        _, pk = kp
+        pool = NoncePool(pk)
+        assert pool.available() == 0
+        pool.refill(5, rng=random.Random(1))
+        assert pool.available() == 5
+        assert pool.take() is not None
+        assert pool.available() == 4
+        assert pool.take(s=2) is None  # level 2 never filled
+
+    def test_negative_refill_rejected(self, kp):
+        _, pk = kp
+        with pytest.raises(ConfigurationError):
+            NoncePool(pk).refill(-1)
+
+    def test_pooled_ciphertexts_decrypt_correctly(self, kp):
+        sk, pk = kp
+        pool = NoncePool(pk)
+        pool.refill(10, rng=random.Random(2))
+        for m in (0, 1, 424242, pk.n - 1):
+            c = encrypt_with_pool(pool, m)
+            assert sk.decrypt(c) == m
+
+    def test_pooled_ciphertexts_are_randomized(self, kp):
+        _, pk = kp
+        pool = NoncePool(pk)
+        pool.refill(2, rng=random.Random(3))
+        a = encrypt_with_pool(pool, 7)
+        b = encrypt_with_pool(pool, 7)
+        assert a.value != b.value
+
+    def test_dry_pool_falls_back_online(self, kp):
+        sk, pk = kp
+        pool = NoncePool(pk)  # never refilled
+        c = encrypt_with_pool(pool, 99, rng=random.Random(4))
+        assert sk.decrypt(c) == 99
+
+    def test_level_two_support(self, kp):
+        sk, pk = kp
+        pool = NoncePool(pk)
+        pool.refill(2, s=2, rng=random.Random(5))
+        c = encrypt_with_pool(pool, 31337, s=2)
+        assert c.s == 2
+        assert sk.decrypt(c) == 31337
+
+    def test_plaintext_validation(self, kp):
+        _, pk = kp
+        pool = NoncePool(pk)
+        with pytest.raises(CryptoError):
+            encrypt_with_pool(pool, pk.n)
+
+    def test_pooled_indicator_selects_correctly(self, kp):
+        sk, pk = kp
+        from repro.crypto.homomorphic import matrix_select
+
+        pool = NoncePool(pk)
+        pool.refill(6, rng=random.Random(6))
+        indicator = pooled_indicator(pool, 6, 4)
+        matrix = [[10, 20, 30, 40, 50, 60]]
+        assert sk.decrypt(matrix_select(matrix, indicator)[0]) == 50
+
+    def test_pooled_indicator_bounds(self, kp):
+        _, pk = kp
+        with pytest.raises(CryptoError):
+            pooled_indicator(NoncePool(pk), 3, 3)
+
+    def test_online_phase_is_faster_with_pool(self, kp):
+        """The point of the exercise: query-time encryption gets cheaper."""
+        _, pk = kp
+        pool = NoncePool(pk)
+        pool.refill(60, rng=random.Random(7))
+        rng = random.Random(8)
+
+        start = time.perf_counter()
+        for i in range(60):
+            encrypt_with_pool(pool, i)
+        pooled_time = time.perf_counter() - start
+
+        start = time.perf_counter()
+        for i in range(60):
+            pk.encrypt(i, rng=rng)
+        online_time = time.perf_counter() - start
+
+        assert pooled_time < online_time

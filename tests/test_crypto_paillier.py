@@ -1,0 +1,130 @@
+"""Tests for the generalized Paillier (Damgård–Jurik) cryptosystem."""
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.crypto.paillier import (
+    Ciphertext,
+    PaillierPrivateKey,
+    PaillierPublicKey,
+    generate_keypair,
+)
+from repro.errors import CryptoError
+
+
+class TestKeyGeneration:
+    def test_modulus_size(self, keypair):
+        assert keypair.public_key.key_bits == 256
+
+    def test_seeded_generation_cached_and_deterministic(self):
+        a = generate_keypair(128, seed=1)
+        b = generate_keypair(128, seed=1)
+        assert a.public_key.n == b.public_key.n
+        assert a is b  # cache hit
+
+    def test_different_seeds_differ(self):
+        assert generate_keypair(128, seed=2).public_key.n != generate_keypair(
+            128, seed=3
+        ).public_key.n
+
+    def test_invalid_keysize(self):
+        with pytest.raises(CryptoError):
+            generate_keypair(15)
+        with pytest.raises(CryptoError):
+            generate_keypair(130 + 1)
+
+    def test_private_key_validates_factorization(self, keypair):
+        with pytest.raises(CryptoError):
+            PaillierPrivateKey(keypair.public_key, 3, 5)
+
+
+class TestEncryptDecrypt:
+    @pytest.mark.parametrize("s", [1, 2, 3])
+    def test_roundtrip_at_levels(self, keypair, s):
+        sk, pk = keypair
+        rng = random.Random(0)
+        for m in [0, 1, 2, pk.plaintext_modulus(s) // 2, pk.plaintext_modulus(s) - 1]:
+            assert sk.decrypt(pk.encrypt(m, s=s, rng=rng)) == m
+
+    def test_probabilistic_encryption(self, keypair):
+        sk, pk = keypair
+        c1 = pk.encrypt(42, rng=random.Random(1))
+        c2 = pk.encrypt(42, rng=random.Random(2))
+        assert c1.value != c2.value
+        assert sk.decrypt(c1) == sk.decrypt(c2) == 42
+
+    def test_insecure_mode_is_deterministic(self, keypair):
+        _, pk = keypair
+        assert pk.encrypt(7, secure=False).value == pk.encrypt(7, secure=False).value
+
+    def test_plaintext_out_of_range(self, keypair):
+        _, pk = keypair
+        with pytest.raises(CryptoError):
+            pk.encrypt(pk.plaintext_modulus(1))
+        with pytest.raises(CryptoError):
+            pk.encrypt(-1)
+
+    def test_wrong_key_decryption_rejected(self, keypair):
+        sk, _ = keypair
+        other = generate_keypair(128, seed=77)
+        c = other.public_key.encrypt(5)
+        with pytest.raises(CryptoError):
+            sk.decrypt(c)
+
+    def test_rerandomize_preserves_plaintext(self, keypair):
+        sk, pk = keypair
+        c = pk.encrypt(123, rng=random.Random(5))
+        c2 = pk.rerandomize(c, random.Random(6))
+        assert c2.value != c.value
+        assert sk.decrypt(c2) == 123
+
+    @settings(max_examples=25, deadline=None)
+    @given(st.integers(min_value=0, max_value=2**64))
+    def test_roundtrip_property(self, m):
+        sk, pk = generate_keypair(128, seed=4242)
+        assert sk.decrypt(pk.encrypt(m % pk.n, rng=random.Random(m))) == m % pk.n
+
+
+class TestNestedEncryption:
+    def test_eps1_ciphertext_fits_eps2_plaintext(self, keypair):
+        sk, pk = keypair
+        inner = pk.encrypt(999, rng=random.Random(1))
+        assert inner.value < pk.plaintext_modulus(2)
+        outer = pk.encrypt(inner.value, s=2, rng=random.Random(2))
+        assert sk.decrypt_nested(outer) == 999
+
+    def test_decrypt_nested_requires_eps2(self, keypair):
+        sk, pk = keypair
+        with pytest.raises(CryptoError):
+            sk.decrypt_nested(pk.encrypt(1, s=1))
+
+
+class TestCiphertextSizes:
+    def test_byte_sizes_follow_levels(self, keypair):
+        _, pk = keypair
+        # eps_1 ciphertexts live in Z_{N^2}: 2 * 256 bits = 64 bytes.
+        assert pk.ciphertext_bytes(1) == 64
+        # eps_2 in Z_{N^3}: 96 bytes — the 1.5x ratio of Section 6.
+        assert pk.ciphertext_bytes(2) == 96
+
+    def test_ciphertext_level_validation(self, keypair):
+        _, pk = keypair
+        with pytest.raises(CryptoError):
+            Ciphertext(value=1, s=0, public_key=pk)
+
+
+class TestGPower:
+    def test_g_pow_matches_pow(self, keypair):
+        _, pk = keypair
+        for s in (1, 2):
+            mod = pk.ciphertext_modulus(s)
+            for m in (0, 1, 12345, pk.plaintext_modulus(s) - 1):
+                assert pk.g_pow(m, s) == pow(1 + pk.n, m, mod)
+
+    def test_public_key_equality_and_hash(self, keypair):
+        _, pk = keypair
+        clone = PaillierPublicKey(pk.n)
+        assert clone == pk and hash(clone) == hash(pk)

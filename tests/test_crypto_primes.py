@@ -1,0 +1,63 @@
+"""Tests for primality testing and prime generation."""
+
+import random
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.crypto.primes import (
+    generate_distinct_primes,
+    generate_prime,
+    is_probable_prime,
+)
+from repro.errors import ConfigurationError
+
+KNOWN_PRIMES = [2, 3, 5, 7, 97, 7919, 104729, 2**31 - 1]
+KNOWN_COMPOSITES = [0, 1, 4, 100, 7917, 2**31, 561, 41041, 6601]  # incl. Carmichael
+
+
+class TestIsProbablePrime:
+    @pytest.mark.parametrize("p", KNOWN_PRIMES)
+    def test_known_primes(self, p):
+        assert is_probable_prime(p)
+
+    @pytest.mark.parametrize("c", KNOWN_COMPOSITES)
+    def test_known_composites_including_carmichael(self, c):
+        assert not is_probable_prime(c)
+
+    @given(st.integers(min_value=2, max_value=2000), st.integers(min_value=2, max_value=2000))
+    def test_products_are_composite(self, a, b):
+        assert not is_probable_prime(a * b)
+
+    def test_large_prime(self):
+        # 2^127 - 1 is a Mersenne prime; exercises the random-witness path.
+        assert is_probable_prime(2**127 - 1, rng=random.Random(0))
+
+    def test_large_composite(self):
+        assert not is_probable_prime((2**127 - 1) * (2**89 - 1), rng=random.Random(0))
+
+
+class TestGeneratePrime:
+    @pytest.mark.parametrize("bits", [8, 16, 32, 64, 128])
+    def test_exact_bit_length(self, bits):
+        p = generate_prime(bits, random.Random(1))
+        assert p.bit_length() == bits
+        assert is_probable_prime(p)
+
+    def test_top_two_bits_set(self):
+        # Required so that p*q has exactly 2*bits bits.
+        p = generate_prime(32, random.Random(2))
+        assert (p >> 30) & 0b11 == 0b11
+
+    def test_too_small_rejected(self):
+        with pytest.raises(ConfigurationError):
+            generate_prime(4, random.Random(0))
+
+    def test_distinct_primes(self):
+        p, q = generate_distinct_primes(64, random.Random(3))
+        assert p != q
+        assert (p * q).bit_length() == 128
+
+    def test_deterministic_for_seed(self):
+        assert generate_prime(48, random.Random(9)) == generate_prime(48, random.Random(9))

@@ -1,0 +1,114 @@
+"""Tests for POI records and dataset generators/loaders."""
+
+import pytest
+
+from repro.datasets.poi import POI
+from repro.datasets.sequoia import SEQUOIA_SIZE, load_sequoia, load_sequoia_file
+from repro.datasets.synthetic import clustered_pois, uniform_pois
+from repro.errors import ConfigurationError
+from repro.geometry.point import Point
+from repro.geometry.rect import Rect
+from repro.geometry.space import LocationSpace
+
+
+class TestPOI:
+    def test_negative_id_rejected(self):
+        with pytest.raises(ValueError):
+            POI(-1, Point(0, 0))
+
+    def test_str_forms(self):
+        assert "cafe" in str(POI(1, Point(0.5, 0.25), "cafe"))
+        assert "poi-2" in str(POI(2, Point(0, 0)))
+
+    def test_frozen_and_hashable(self):
+        p = POI(1, Point(0, 0), "x")
+        assert {p, POI(1, Point(0, 0), "x")} == {p}
+
+
+class TestSyntheticGenerators:
+    def test_uniform_count_ids_and_bounds(self, space):
+        pois = uniform_pois(500, space, seed=1)
+        assert len(pois) == 500
+        assert [p.poi_id for p in pois] == list(range(500))
+        assert all(space.contains(p.location) for p in pois)
+
+    def test_uniform_deterministic(self, space):
+        assert uniform_pois(50, space, seed=9) == uniform_pois(50, space, seed=9)
+
+    def test_uniform_zero_count(self):
+        assert uniform_pois(0) == []
+
+    def test_negative_count_rejected(self):
+        with pytest.raises(ConfigurationError):
+            uniform_pois(-1)
+
+    def test_clustered_bounds_and_determinism(self, space):
+        a = clustered_pois(800, space, seed=3)
+        b = clustered_pois(800, space, seed=3)
+        assert a == b
+        assert all(space.contains(p.location) for p in a)
+
+    def test_clustered_is_actually_clustered(self, space):
+        """Clustered data must concentrate: the densest 10% of grid cells
+        hold far more points than under a uniform distribution."""
+        from collections import Counter
+
+        pois = clustered_pois(4000, space, seed=5, background_fraction=0.1)
+        cells = Counter(
+            (int(p.location.x * 10), int(p.location.y * 10)) for p in pois
+        )
+        top10 = sum(count for _, count in cells.most_common(10))
+        assert top10 > 0.25 * 4000  # uniform would put ~10% in any 10 cells
+
+    def test_clustered_parameter_validation(self):
+        with pytest.raises(ConfigurationError):
+            clustered_pois(10, clusters=0)
+        with pytest.raises(ConfigurationError):
+            clustered_pois(10, background_fraction=1.5)
+
+
+class TestSequoia:
+    def test_default_surrogate_size(self):
+        pois = load_sequoia(1000)
+        assert len(pois) == 1000
+        assert SEQUOIA_SIZE == 62_556
+
+    def test_surrogate_deterministic(self):
+        assert load_sequoia(200) == load_sequoia(200)
+
+    def test_invalid_size(self):
+        with pytest.raises(ConfigurationError):
+            load_sequoia(0)
+
+    def test_file_loader_normalizes(self, tmp_path):
+        raw = tmp_path / "sequoia.txt"
+        raw.write_text("100 200 Alpha\n300 600 Beta Cafe\n200 400\n")
+        pois = load_sequoia_file(raw)
+        assert len(pois) == 3
+        space = LocationSpace.unit_square()
+        assert all(space.contains(p.location) for p in pois)
+        # Extremes map onto the space bounds.
+        assert pois[0].location == Point(0.0, 0.0)
+        assert pois[1].location == Point(1.0, 1.0)
+        assert pois[1].name == "Beta Cafe"
+        assert pois[2].name == "sequoia-2"
+
+    def test_file_loader_custom_space(self, tmp_path):
+        raw = tmp_path / "sequoia.txt"
+        raw.write_text("0 0 a\n10 10 b\n")
+        target = LocationSpace(Rect(5, 5, 7, 9))
+        pois = load_sequoia_file(raw, target)
+        assert pois[0].location == Point(5, 5)
+        assert pois[1].location == Point(7, 9)
+
+    def test_file_loader_errors(self, tmp_path):
+        bad = tmp_path / "bad.txt"
+        bad.write_text("only-one-field\n")
+        with pytest.raises(ConfigurationError):
+            load_sequoia_file(bad)
+        bad.write_text("x y name\n")
+        with pytest.raises(ConfigurationError):
+            load_sequoia_file(bad)
+        bad.write_text("\n\n")
+        with pytest.raises(ConfigurationError):
+            load_sequoia_file(bad)

@@ -1,0 +1,123 @@
+"""Tests for the dummy-generation strategies."""
+
+import numpy as np
+import pytest
+
+from repro.core.common import build_location_set
+from repro.datasets.synthetic import clustered_pois
+from repro.dummies import (
+    POIAwareDummyGenerator,
+    PrivacyAreaDummyGenerator,
+    UniformDummyGenerator,
+    make_dummy_generator,
+)
+from repro.errors import ConfigurationError
+from repro.geometry.point import Point
+
+
+@pytest.fixture(params=["uniform", "privacy-area", "poi-aware"])
+def generator(request, medium_pois):
+    if request.param == "poi-aware":
+        return POIAwareDummyGenerator(medium_pois[:200])
+    return make_dummy_generator(request.param)
+
+
+class TestAllGenerators:
+    def test_count_and_bounds(self, generator, space, nprng):
+        for count in (0, 1, 24, 100):
+            dummies = generator.generate(count, space, nprng)
+            assert len(dummies) == count
+            assert all(space.contains(p) for p in dummies)
+
+    def test_negative_count_rejected(self, generator, space, nprng):
+        with pytest.raises(ConfigurationError):
+            generator.generate(-1, space, nprng)
+
+    def test_deterministic_given_seed(self, generator, space):
+        a = generator.generate(10, space, np.random.default_rng(5))
+        b = generator.generate(10, space, np.random.default_rng(5))
+        assert a == b
+
+    def test_integrates_with_location_set(self, generator, space, nprng):
+        real = Point(0.42, 0.24)
+        location_set = build_location_set(real, 3, 12, space, nprng, generator)
+        assert len(location_set) == 12
+        assert location_set[3] == real
+
+
+class TestRegistry:
+    def test_known_names(self):
+        assert isinstance(make_dummy_generator("uniform"), UniformDummyGenerator)
+        assert isinstance(
+            make_dummy_generator("privacy-area"), PrivacyAreaDummyGenerator
+        )
+
+    def test_unknown_name(self):
+        with pytest.raises(ConfigurationError):
+            make_dummy_generator("teleport")
+
+
+class TestPrivacyArea:
+    def test_jitter_validation(self):
+        with pytest.raises(ConfigurationError):
+            PrivacyAreaDummyGenerator(jitter=1.5)
+
+    def test_grid_spreads_more_than_uniform(self, space):
+        """PAD's point: the minimum pairwise distance (anonymity spread) of
+        grid dummies beats i.i.d. uniform dummies on average."""
+
+        def min_pairwise(points):
+            return min(
+                a.distance_to(b)
+                for i, a in enumerate(points)
+                for b in points[i + 1 :]
+            )
+
+        grid_gen = PrivacyAreaDummyGenerator()
+        uniform_gen = UniformDummyGenerator()
+        grid_spread = []
+        uniform_spread = []
+        for seed in range(12):
+            rng = np.random.default_rng(seed)
+            grid_spread.append(min_pairwise(grid_gen.generate(24, space, rng)))
+            rng = np.random.default_rng(seed)
+            uniform_spread.append(min_pairwise(uniform_gen.generate(24, space, rng)))
+        assert np.mean(grid_spread) > 2 * np.mean(uniform_spread)
+
+    def test_zero_jitter_hits_cell_centers(self, space, nprng):
+        gen = PrivacyAreaDummyGenerator(jitter=0.0)
+        points = gen.generate(4, space, nprng)
+        for p in points:
+            assert p.x in (0.25, 0.75) and p.y in (0.25, 0.75)
+
+
+class TestPOIAware:
+    def test_requires_reference(self):
+        with pytest.raises(ConfigurationError):
+            POIAwareDummyGenerator([])
+
+    def test_follows_density(self, space):
+        """Dummies must concentrate where the reference POIs concentrate."""
+        reference = clustered_pois(
+            2000, space, clusters=2, background_fraction=0.0, seed=42
+        )
+        gen = POIAwareDummyGenerator(reference, cells_per_side=8)
+        dummies = gen.generate(800, space, np.random.default_rng(1))
+        # Count dummies in occupied vs empty reference cells.
+        occupied = {
+            (min(int(p.location.x * 8), 7), min(int(p.location.y * 8), 7))
+            for p in reference
+        }
+        inside = sum(
+            1
+            for d in dummies
+            if (min(int(d.x * 8), 7), min(int(d.y * 8), 7)) in occupied
+        )
+        assert inside == len(dummies)  # zero mass outside the density support
+
+    def test_histogram_cached_between_calls(self, medium_pois, space, nprng):
+        gen = POIAwareDummyGenerator(medium_pois[:50])
+        gen.generate(5, space, nprng)
+        first = gen._weights
+        gen.generate(5, space, nprng)
+        assert gen._weights is first

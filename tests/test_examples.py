@@ -1,0 +1,70 @@
+"""Smoke tests: every example script must run end to end.
+
+Each example is loaded as a module and its ``main()`` executed against a
+shrunken database (``load_sequoia`` is patched down) so the whole sweep
+stays fast while exercising exactly the code a reader would run.
+"""
+
+import importlib.util
+import sys
+from pathlib import Path
+
+import pytest
+
+import repro.datasets
+import repro.datasets.sequoia as sequoia_module
+
+EXAMPLES_DIR = Path(__file__).parent.parent / "examples"
+EXAMPLES = sorted(p.stem for p in EXAMPLES_DIR.glob("*.py"))
+
+#: Per-example database cap (they default to 5k-10k POIs).
+POI_CAP = 600
+
+
+def load_example(name: str):
+    spec = importlib.util.spec_from_file_location(
+        f"examples_{name}", EXAMPLES_DIR / f"{name}.py"
+    )
+    module = importlib.util.module_from_spec(spec)
+    sys.modules[spec.name] = module
+    spec.loader.exec_module(module)
+    return module
+
+
+@pytest.fixture()
+def small_sequoia(monkeypatch):
+    original = sequoia_module.load_sequoia
+
+    def capped(size=sequoia_module.SEQUOIA_SIZE, *args, **kwargs):
+        return original(min(size, POI_CAP), *args, **kwargs)
+
+    monkeypatch.setattr(sequoia_module, "load_sequoia", capped)
+    monkeypatch.setattr(repro.datasets, "load_sequoia", capped)
+    return capped
+
+
+def test_examples_discovered():
+    assert len(EXAMPLES) >= 8
+
+
+@pytest.mark.parametrize("name", EXAMPLES)
+def test_example_runs(name, small_sequoia, capsys, monkeypatch):
+    module = load_example(name)
+    # Examples import load_sequoia by value; patch their module globals too.
+    if hasattr(module, "load_sequoia"):
+        monkeypatch.setattr(module, "load_sequoia", small_sequoia)
+    if name == "dynamic_database":
+        # Shrink APNN's grid so its demo precomputation stays fast.
+        from repro.baselines.apnn import APNNServer
+
+        original_server = APNNServer
+        monkeypatch.setattr(
+            module,
+            "APNNServer",
+            lambda pois, cells_per_side=32, **kw: original_server(
+                pois, cells_per_side=8, **kw
+            ),
+        )
+    module.main()
+    out = capsys.readouterr().out
+    assert out.strip(), f"{name} produced no output"

@@ -1,0 +1,99 @@
+"""Tests for distance functions, including the R-tree pruning bounds."""
+
+import math
+
+import numpy as np
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.geometry.distance import (
+    distance_matrix,
+    euclidean,
+    maxdist_point_rect,
+    mindist_point_rect,
+    pairwise_distances,
+    squared_euclidean,
+)
+from repro.geometry.point import Point
+from repro.geometry.rect import Rect
+
+coord = st.floats(min_value=-50, max_value=50, allow_nan=False)
+points = st.builds(Point, coord, coord)
+
+
+@st.composite
+def rects(draw):
+    x1, x2 = sorted((draw(coord), draw(coord)))
+    y1, y2 = sorted((draw(coord), draw(coord)))
+    return Rect(x1, y1, x2, y2)
+
+
+class TestScalarDistances:
+    def test_euclidean(self):
+        assert euclidean(Point(0, 0), Point(3, 4)) == 5.0
+
+    def test_squared(self):
+        assert squared_euclidean(Point(1, 1), Point(4, 5)) == 25.0
+
+    def test_mindist_inside_is_zero(self):
+        assert mindist_point_rect(Point(0.5, 0.5), Rect(0, 0, 1, 1)) == 0.0
+
+    def test_mindist_axis_aligned(self):
+        assert mindist_point_rect(Point(2, 0.5), Rect(0, 0, 1, 1)) == 1.0
+
+    def test_mindist_corner(self):
+        assert math.isclose(
+            mindist_point_rect(Point(2, 2), Rect(0, 0, 1, 1)), math.sqrt(2)
+        )
+
+    def test_maxdist_is_farthest_corner(self):
+        # From the origin corner, the far corner of the unit square.
+        assert math.isclose(
+            maxdist_point_rect(Point(0, 0), Rect(0, 0, 1, 1)), math.sqrt(2)
+        )
+
+
+class TestBoundProperties:
+    @given(points, rects())
+    def test_mindist_le_maxdist(self, p, r):
+        assert mindist_point_rect(p, r) <= maxdist_point_rect(p, r) + 1e-12
+
+    @given(points, rects(), st.floats(min_value=0, max_value=1), st.floats(min_value=0, max_value=1))
+    def test_bounds_bracket_any_interior_point(self, p, r, tx, ty):
+        q = Point(r.xmin + tx * r.width, r.ymin + ty * r.height)
+        d = euclidean(p, q)
+        assert mindist_point_rect(p, r) <= d + 1e-9
+        assert d <= maxdist_point_rect(p, r) + 1e-9
+
+    @given(points, points)
+    def test_mindist_to_degenerate_rect_is_distance(self, p, q):
+        r = Rect.from_point(q)
+        assert math.isclose(
+            mindist_point_rect(p, r), euclidean(p, q), rel_tol=1e-9, abs_tol=1e-9
+        )
+        assert math.isclose(
+            maxdist_point_rect(p, r), euclidean(p, q), rel_tol=1e-9, abs_tol=1e-9
+        )
+
+
+class TestVectorized:
+    def test_pairwise_matches_scalar(self):
+        xs = np.array([0.0, 1.0, 2.0])
+        ys = np.array([0.0, 1.0, 2.0])
+        target = Point(1.0, 0.0)
+        out = pairwise_distances(xs, ys, target)
+        expected = [euclidean(Point(x, y), target) for x, y in zip(xs, ys)]
+        assert np.allclose(out, expected)
+
+    def test_distance_matrix_matches_scalar(self):
+        rng = np.random.default_rng(3)
+        xs = rng.uniform(0, 1, 20)
+        ys = rng.uniform(0, 1, 20)
+        targets = [Point(0.1, 0.9), Point(0.5, 0.5), Point(0.9, 0.1)]
+        mat = distance_matrix(xs, ys, targets)
+        assert mat.shape == (20, 3)
+        for i in range(20):
+            for j, t in enumerate(targets):
+                assert math.isclose(
+                    mat[i, j], euclidean(Point(xs[i], ys[i]), t), rel_tol=1e-12
+                )

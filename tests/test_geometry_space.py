@@ -1,0 +1,59 @@
+"""Tests for the bounded location space."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.geometry.point import Point
+from repro.geometry.rect import Rect
+from repro.geometry.space import LocationSpace
+
+
+class TestLocationSpace:
+    def test_unit_square_default(self):
+        space = LocationSpace.unit_square()
+        assert space.area == 1.0
+        assert space.contains(Point(0.5, 0.5))
+        assert not space.contains(Point(1.5, 0.5))
+
+    def test_zero_area_rejected(self):
+        with pytest.raises(ConfigurationError):
+            LocationSpace(Rect(0, 0, 0, 1))
+
+    def test_sampling_stays_inside(self):
+        space = LocationSpace(Rect(-2, 3, 4, 10))
+        rng = np.random.default_rng(0)
+        for p in space.sample_points(500, rng):
+            assert space.contains(p)
+
+    def test_sample_arrays_shape_and_bounds(self):
+        space = LocationSpace.unit_square()
+        xs, ys = space.sample_arrays(1000, np.random.default_rng(1))
+        assert xs.shape == ys.shape == (1000,)
+        assert xs.min() >= 0 and xs.max() <= 1
+        assert ys.min() >= 0 and ys.max() <= 1
+
+    def test_sampling_is_roughly_uniform(self):
+        # Quadrant counts of 8000 samples should all be near 2000.
+        space = LocationSpace.unit_square()
+        xs, ys = space.sample_arrays(8000, np.random.default_rng(2))
+        for qx in (0, 1):
+            for qy in (0, 1):
+                count = int(
+                    (((xs >= 0.5) == qx) & ((ys >= 0.5) == qy)).sum()
+                )
+                assert 1700 < count < 2300
+
+    def test_negative_sample_count_rejected(self):
+        with pytest.raises(ConfigurationError):
+            LocationSpace.unit_square().sample_arrays(-1, np.random.default_rng(0))
+
+    def test_relative_area(self):
+        space = LocationSpace(Rect(0, 0, 2, 2))
+        assert space.relative_area(1.0) == 0.25
+
+    def test_deterministic_given_seed(self):
+        space = LocationSpace.unit_square()
+        a = space.sample_points(10, np.random.default_rng(42))
+        b = space.sample_points(10, np.random.default_rng(42))
+        assert a == b

@@ -1,0 +1,114 @@
+"""Tests for the k-d tree index."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.geometry.point import Point
+from repro.geometry.rect import Rect
+from repro.index.bruteforce import BruteForceIndex
+from repro.index.kdtree import KDTree
+
+coord = st.floats(min_value=0, max_value=1, allow_nan=False)
+point_sets = st.lists(
+    st.tuples(coord, coord), min_size=1, max_size=100, unique=True
+)
+
+
+def build_pair(pairs):
+    kd = KDTree()
+    oracle = BruteForceIndex()
+    entries = [(Point(x, y), i) for i, (x, y) in enumerate(pairs)]
+    kd.bulk_load(entries)
+    for p, i in entries:
+        oracle.insert(p, i)
+    return kd, oracle
+
+
+class TestConstruction:
+    def test_empty(self):
+        kd = KDTree()
+        assert len(kd) == 0
+        assert kd.nearest(Point(0, 0), 3) == []
+        assert kd.range_query(Rect(0, 0, 1, 1)) == []
+
+    def test_bulk_load_and_entries(self, small_pois):
+        kd = KDTree()
+        kd.bulk_load((p.location, p) for p in small_pois)
+        assert len(kd) == len(small_pois)
+        ids = sorted(p.poi_id for _, p in kd.entries())
+        assert ids == sorted(p.poi_id for p in small_pois)
+
+    def test_insert_goes_to_overflow(self, small_pois):
+        kd = KDTree()
+        kd.bulk_load((p.location, p) for p in small_pois[:50])
+        kd.insert(small_pois[50].location, small_pois[50])
+        assert kd.overflow_size == 1
+        assert len(kd) == 51
+
+    def test_rebuild_folds_overflow(self, small_pois):
+        kd = KDTree()
+        kd.bulk_load((p.location, p) for p in small_pois[:50])
+        for poi in small_pois[50:60]:
+            kd.insert(poi.location, poi)
+        kd.rebuild()
+        assert kd.overflow_size == 0
+        assert len(kd) == 60
+
+
+class TestQueries:
+    @settings(max_examples=40, deadline=None)
+    @given(point_sets, coord, coord, coord, coord)
+    def test_range_matches_oracle(self, pairs, x1, y1, x2, y2):
+        rect = Rect(min(x1, x2), min(y1, y2), max(x1, x2), max(y1, y2))
+        kd, oracle = build_pair(pairs)
+        got = sorted(i for _, i in kd.range_query(rect))
+        want = sorted(i for _, i in oracle.range_query(rect))
+        assert got == want
+
+    @settings(max_examples=40, deadline=None)
+    @given(point_sets, coord, coord, st.integers(min_value=1, max_value=12))
+    def test_knn_matches_oracle(self, pairs, qx, qy, k):
+        """kNN is exact: the distance sequence equals the oracle's, and the
+        identities match whenever no exact distance ties exist (best-first
+        search does not define a global order among tied points)."""
+        kd, oracle = build_pair(pairs)
+        q = Point(qx, qy)
+        got = kd.nearest(q, k)
+        want = oracle.nearest(q, k)
+        got_dists = [p.distance_to(q) for p, _ in got]
+        want_dists = [p.distance_to(q) for p, _ in want]
+        assert got_dists == want_dists
+        boundary = want_dists[-1] if want_dists else None
+        all_dists = sorted(p.distance_to(q) for p, _ in oracle.entries())
+        ties = all_dists.count(boundary) > 1 if boundary is not None else False
+        if len(set(all_dists)) == len(all_dists) and not ties:
+            assert [i for _, i in got] == [i for _, i in want]
+
+    def test_knn_includes_overflow(self, small_pois):
+        kd = KDTree()
+        kd.bulk_load((p.location, p) for p in small_pois[:50])
+        target = Point(0.123456, 0.654321)
+        from repro.datasets.poi import POI
+
+        newcomer = POI(9999, target, "new")
+        kd.insert(target, newcomer)
+        assert kd.nearest(target, 1)[0][1] is newcomer
+
+    def test_large_scale_agreement(self):
+        rng = np.random.default_rng(5)
+        entries = [
+            (Point(float(x), float(y)), i)
+            for i, (x, y) in enumerate(rng.uniform(0, 1, (3000, 2)))
+        ]
+        kd = KDTree()
+        kd.bulk_load(entries)
+        oracle = BruteForceIndex()
+        for p, i in entries:
+            oracle.insert(p, i)
+        for seed in range(5):
+            q = Point(*np.random.default_rng(seed).uniform(0, 1, 2))
+            assert [i for _, i in kd.nearest(q, 20)] == [
+                i for _, i in oracle.nearest(q, 20)
+            ]

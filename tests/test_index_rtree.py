@@ -1,0 +1,179 @@
+"""Tests for the R-tree: structure, queries, bulk load, deletion."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import ConfigurationError
+from repro.geometry.point import Point
+from repro.geometry.rect import Rect
+from repro.index.bruteforce import BruteForceIndex
+from repro.index.rtree import RTree
+
+coord = st.floats(min_value=0, max_value=1, allow_nan=False)
+point_lists = st.lists(st.tuples(coord, coord), min_size=1, max_size=120)
+
+
+def make_points(pairs):
+    return [Point(x, y) for x, y in pairs]
+
+
+def check_invariants(tree: RTree):
+    """Every node's MBR must tightly bound its content; leaves at one depth."""
+    depths = set()
+
+    def visit(node, depth):
+        if node.is_leaf:
+            depths.add(depth)
+            if node.points:
+                mbr = Rect.from_points(node.points)
+                assert node.mbr == mbr
+        else:
+            assert node.children
+            union = node.children[0].mbr
+            for child in node.children[1:]:
+                union = union.union(child.mbr)
+                assert node.mbr.contains_rect(child.mbr)
+            assert node.mbr == union
+            for child in node.children:
+                visit(child, depth + 1)
+
+    visit(tree.root, 0)
+    assert len(depths) <= 1  # balanced
+
+
+class TestRTreeConstruction:
+    def test_config_validation(self):
+        with pytest.raises(ConfigurationError):
+            RTree(max_entries=3)
+        with pytest.raises(ConfigurationError):
+            RTree(max_entries=8, min_entries=5)
+
+    def test_empty_tree(self):
+        tree = RTree()
+        assert len(tree) == 0
+        assert not tree
+        assert tree.range_query(Rect(0, 0, 1, 1)) == []
+
+    def test_insert_and_count(self, small_pois):
+        tree = RTree(max_entries=8)
+        for poi in small_pois:
+            tree.insert(poi.location, poi)
+        assert len(tree) == len(small_pois)
+        check_invariants(tree)
+
+    def test_height_grows_with_size(self, small_pois):
+        tree = RTree(max_entries=4)
+        for poi in small_pois:
+            tree.insert(poi.location, poi)
+        assert tree.height >= 3
+
+    def test_entries_iteration_complete(self, small_pois):
+        tree = RTree(max_entries=8)
+        for poi in small_pois:
+            tree.insert(poi.location, poi)
+        ids = sorted(p.poi_id for _, p in tree.entries())
+        assert ids == sorted(p.poi_id for p in small_pois)
+
+    def test_duplicate_locations_supported(self):
+        tree = RTree(max_entries=4)
+        p = Point(0.5, 0.5)
+        for i in range(20):
+            tree.insert(p, i)
+        assert len(tree) == 20
+        assert len(tree.range_query(Rect.from_point(p))) == 20
+
+
+class TestBulkLoad:
+    def test_bulk_load_matches_inserts(self, small_pois):
+        bulk = RTree(max_entries=8)
+        bulk.bulk_load((p.location, p) for p in small_pois)
+        assert len(bulk) == len(small_pois)
+        check_invariants(bulk)
+        ids = sorted(p.poi_id for _, p in bulk.entries())
+        assert ids == sorted(p.poi_id for p in small_pois)
+
+    def test_bulk_load_empty(self):
+        tree = RTree()
+        tree.bulk_load([])
+        assert len(tree) == 0
+
+    def test_bulk_load_replaces_content(self, small_pois):
+        tree = RTree()
+        tree.insert(Point(0, 0), "old")
+        tree.bulk_load((p.location, p) for p in small_pois[:10])
+        assert len(tree) == 10
+        assert all(item != "old" for _, item in tree.entries())
+
+    def test_bulk_load_is_shallower_than_inserts(self):
+        rng = np.random.default_rng(0)
+        pts = [Point(float(x), float(y)) for x, y in rng.uniform(0, 1, (2000, 2))]
+        bulk = RTree(max_entries=16)
+        bulk.bulk_load((p, i) for i, p in enumerate(pts))
+        incremental = RTree(max_entries=16)
+        for i, p in enumerate(pts):
+            incremental.insert(p, i)
+        assert bulk.height <= incremental.height
+        check_invariants(bulk)
+
+
+class TestRangeQuery:
+    @settings(max_examples=30, deadline=None)
+    @given(point_lists, coord, coord, coord, coord)
+    def test_range_matches_bruteforce(self, pairs, x1, y1, x2, y2):
+        rect = Rect(min(x1, x2), min(y1, y2), max(x1, x2), max(y1, y2))
+        tree = RTree(max_entries=4)
+        oracle = BruteForceIndex()
+        for i, p in enumerate(make_points(pairs)):
+            tree.insert(p, i)
+            oracle.insert(p, i)
+        got = sorted(item for _, item in tree.range_query(rect))
+        want = sorted(item for _, item in oracle.range_query(rect))
+        assert got == want
+
+
+class TestDeletion:
+    def test_delete_existing(self, small_pois):
+        tree = RTree(max_entries=6)
+        for poi in small_pois:
+            tree.insert(poi.location, poi)
+        victim = small_pois[37]
+        assert tree.delete(victim.location, victim)
+        assert len(tree) == len(small_pois) - 1
+        remaining = {p.poi_id for _, p in tree.entries()}
+        assert victim.poi_id not in remaining
+        check_invariants(tree)
+
+    def test_delete_missing_returns_false(self, small_pois):
+        tree = RTree()
+        tree.bulk_load((p.location, p) for p in small_pois)
+        assert not tree.delete(Point(0.123456, 0.654321), "ghost")
+        assert len(tree) == len(small_pois)
+
+    def test_delete_everything(self, small_pois):
+        subset = small_pois[:40]
+        tree = RTree(max_entries=4)
+        for poi in subset:
+            tree.insert(poi.location, poi)
+        for poi in subset:
+            assert tree.delete(poi.location, poi)
+        assert len(tree) == 0
+
+    def test_queries_correct_after_mixed_workload(self, small_pois):
+        tree = RTree(max_entries=5)
+        oracle = BruteForceIndex()
+        alive = []
+        for i, poi in enumerate(small_pois):
+            tree.insert(poi.location, poi)
+            alive.append(poi)
+            if i % 3 == 2:
+                victim = alive.pop(len(alive) // 2)
+                assert tree.delete(victim.location, victim)
+        for poi in alive:
+            oracle.insert(poi.location, poi)
+        rect = Rect(0.2, 0.2, 0.8, 0.8)
+        got = sorted(p.poi_id for _, p in tree.range_query(rect))
+        want = sorted(p.poi_id for _, p in oracle.range_query(rect))
+        assert got == want
+        check_invariants(tree)

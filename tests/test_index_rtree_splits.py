@@ -1,0 +1,82 @@
+"""Tests for the R-tree split strategies (quadratic vs linear)."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.geometry.point import Point
+from repro.geometry.rect import Rect
+from repro.index.bruteforce import BruteForceIndex
+from repro.index.rtree import RTree
+
+
+def random_points(count, seed):
+    rng = np.random.default_rng(seed)
+    return [Point(float(x), float(y)) for x, y in rng.uniform(0, 1, (count, 2))]
+
+
+class TestLinearSplit:
+    def test_unknown_strategy_rejected(self):
+        with pytest.raises(ConfigurationError):
+            RTree(split="cubic")
+
+    @pytest.mark.parametrize("split", ["quadratic", "linear"])
+    def test_queries_correct_under_both_strategies(self, split):
+        points = random_points(400, seed=9)
+        tree = RTree(max_entries=6, split=split)
+        oracle = BruteForceIndex()
+        for i, p in enumerate(points):
+            tree.insert(p, i)
+            oracle.insert(p, i)
+        assert len(tree) == 400
+        for rect in [Rect(0.1, 0.1, 0.4, 0.4), Rect(0.0, 0.0, 1.0, 1.0)]:
+            got = sorted(i for _, i in tree.range_query(rect))
+            want = sorted(i for _, i in oracle.range_query(rect))
+            assert got == want
+
+    @pytest.mark.parametrize("split", ["quadratic", "linear"])
+    def test_knn_correct_under_both_strategies(self, split):
+        from repro.gnn.knn import best_first_knn
+
+        points = random_points(300, seed=10)
+        tree = RTree(max_entries=6, split=split)
+        oracle = BruteForceIndex()
+        for i, p in enumerate(points):
+            tree.insert(p, i)
+            oracle.insert(p, i)
+        q = Point(0.37, 0.61)
+        got = [i for _, i in best_first_knn(tree, q, 15)]
+        want = [i for _, i in oracle.nearest(q, 15)]
+        assert got == want
+
+    def test_linear_split_handles_identical_rects(self):
+        tree = RTree(max_entries=4, split="linear")
+        p = Point(0.5, 0.5)
+        for i in range(30):
+            tree.insert(p, i)
+        assert len(tree) == 30
+        assert len(tree.range_query(Rect.from_point(p))) == 30
+
+    def test_quadratic_builds_tighter_trees(self):
+        """Quadratic's pairwise waste search should not produce *more*
+        total overlap area than the linear heuristic on clustered data."""
+
+        def total_leaf_area(tree):
+            total = 0.0
+            stack = [tree.root]
+            while stack:
+                node = stack.pop()
+                if node.mbr is not None and node.is_leaf:
+                    total += node.mbr.area
+                stack.extend([] if node.is_leaf else node.children)
+            return total
+
+        from repro.datasets.synthetic import clustered_pois
+
+        pois = clustered_pois(1500, seed=12)
+        quad = RTree(max_entries=8, split="quadratic")
+        linear = RTree(max_entries=8, split="linear")
+        for poi in pois:
+            quad.insert(poi.location, poi)
+            linear.insert(poi.location, poi)
+        assert total_leaf_area(quad) <= total_leaf_area(linear) * 1.25

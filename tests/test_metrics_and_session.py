@@ -1,0 +1,120 @@
+"""Tests for answer-quality metrics and the multi-query session."""
+
+import numpy as np
+import pytest
+
+from repro.core.group import random_group
+from repro.core.session import QuerySession
+from repro.datasets.synthetic import uniform_pois
+from repro.errors import ConfigurationError
+from repro.geometry.point import Point
+from repro.gnn.aggregate import SUM
+from repro.metrics import (
+    answer_precision,
+    answer_recall,
+    cost_ratio,
+    evaluate_answer,
+)
+
+
+class TestQualityMetrics:
+    def test_precision_recall_basics(self):
+        assert answer_precision([1, 2, 3], [1, 2, 4]) == pytest.approx(2 / 3)
+        assert answer_recall([1, 2, 3], [1, 2, 4]) == pytest.approx(2 / 3)
+        assert answer_precision([1, 2], [1, 2]) == 1.0
+        assert answer_recall([9], [1, 2]) == 0.0
+
+    def test_precision_of_prefix_is_one(self):
+        """A sanitation-truncated prefix never contains wrong POIs."""
+        exact = [1, 2, 3, 4, 5]
+        assert answer_precision(exact[:2], exact) == 1.0
+        assert answer_recall(exact[:2], exact) == pytest.approx(0.4)
+
+    def test_empty_inputs_rejected(self):
+        with pytest.raises(ConfigurationError):
+            answer_precision([], [1])
+        with pytest.raises(ConfigurationError):
+            answer_recall([1], [])
+
+    def test_cost_ratio_exact_is_one(self):
+        pois = uniform_pois(50, seed=1)
+        locations = [Point(0.5, 0.5), Point(0.2, 0.8)]
+        ranked = sorted(
+            pois, key=lambda p: SUM(l.distance_to(p.location) for l in locations)
+        )
+        assert cost_ratio(ranked[:5], ranked[:5], locations, SUM) == pytest.approx(1.0)
+
+    def test_cost_ratio_penalizes_bad_answers(self):
+        pois = uniform_pois(50, seed=2)
+        locations = [Point(0.1, 0.1)]
+        ranked = sorted(
+            pois, key=lambda p: SUM(l.distance_to(p.location) for l in locations)
+        )
+        worst = list(reversed(ranked))
+        assert cost_ratio(worst[:5], ranked[:5], locations, SUM) > 2.0
+
+    def test_cost_ratio_uses_common_depth(self):
+        pois = uniform_pois(50, seed=3)
+        locations = [Point(0.4, 0.6)]
+        ranked = sorted(
+            pois, key=lambda p: SUM(l.distance_to(p.location) for l in locations)
+        )
+        # A 2-POI prefix against an 8-POI exact answer scores depth 2.
+        assert cost_ratio(ranked[:2], ranked[:8], locations, SUM) == pytest.approx(1.0)
+
+    def test_evaluate_answer_bundle(self):
+        pois = uniform_pois(30, seed=4)
+        locations = [Point(0.3, 0.3)]
+        ranked = sorted(
+            pois, key=lambda p: SUM(l.distance_to(p.location) for l in locations)
+        )
+        quality = evaluate_answer(ranked[:3], ranked[:5], locations, SUM)
+        assert quality.precision == 1.0
+        assert quality.recall == pytest.approx(0.6)
+        assert quality.exact
+
+
+class TestQuerySession:
+    def test_session_accumulates(self, lsp, fast_config):
+        session = QuerySession(lsp, fast_config, seed=10)
+        rng = np.random.default_rng(1)
+        for _ in range(3):
+            result = session.query(random_group(3, lsp.space, rng))
+            assert len(result.answers) >= 1
+        assert session.totals.queries == 3
+        assert session.totals.comm_bytes > 0
+        assert session.totals.mean_comm_bytes == pytest.approx(
+            session.totals.comm_bytes / 3
+        )
+        assert len(session.history) == 3
+
+    def test_distinct_seeds_per_query(self, lsp, fast_config):
+        session = QuerySession(lsp, fast_config, seed=20)
+        group = random_group(3, lsp.space, np.random.default_rng(2))
+        a = session.query(group)
+        b = session.query(group)
+        # Different per-query seeds give (almost surely) different placements.
+        assert a.query_index != b.query_index or a.answers == b.answers
+
+    def test_protocol_selection(self, lsp, fast_config):
+        session = QuerySession(lsp, fast_config, protocol="ppgnn-opt", seed=30)
+        group = random_group(3, lsp.space, np.random.default_rng(3))
+        assert session.query(group).protocol == "ppgnn-opt"
+
+    def test_unknown_protocol_rejected(self, lsp, fast_config):
+        with pytest.raises(ConfigurationError):
+            QuerySession(lsp, fast_config, protocol="pigeon")
+
+    def test_key_seed_required(self, lsp, fast_config):
+        from dataclasses import replace
+
+        with pytest.raises(ConfigurationError):
+            QuerySession(lsp, replace(fast_config, key_seed=None))
+
+    def test_reset_totals(self, lsp, fast_config):
+        session = QuerySession(lsp, fast_config, seed=40)
+        session.query(random_group(2, lsp.space, np.random.default_rng(4)))
+        closed = session.reset_totals()
+        assert closed.queries == 1
+        assert session.totals.queries == 0
+        assert session.history == []

@@ -1,0 +1,47 @@
+"""Integration test: the nonce pool inside the group protocol."""
+
+import random
+
+import numpy as np
+import pytest
+
+from repro.core.common import group_keypair
+from repro.core.group import random_group, run_ppgnn
+from repro.crypto.noncepool import NoncePool
+
+
+class TestPooledProtocol:
+    def test_pooled_round_is_exact(self, lsp, fast_config):
+        keypair = group_keypair(fast_config)
+        pool = NoncePool(keypair.public_key)
+        pool.refill(fast_config.delta + 5, rng=random.Random(1))  # offline
+        group = random_group(3, lsp.space, np.random.default_rng(9))
+
+        cfg = fast_config.without_sanitation()
+        baseline = run_ppgnn(lsp, group, cfg, seed=4)
+        pooled = run_ppgnn(lsp, group, cfg, seed=4, nonce_pool=pool)
+        assert pooled.answer_ids == baseline.answer_ids
+        assert pool.available() < fast_config.delta + 5  # factors consumed
+
+    def test_pool_exhaustion_is_transparent(self, lsp, fast_config):
+        keypair = group_keypair(fast_config)
+        pool = NoncePool(keypair.public_key)
+        pool.refill(2, rng=random.Random(2))  # far fewer than delta'
+        group = random_group(3, lsp.space, np.random.default_rng(10))
+        cfg = fast_config.without_sanitation()
+        result = run_ppgnn(lsp, group, cfg, seed=5, nonce_pool=pool)
+        assert len(result.answers) == cfg.k
+        assert pool.available() == 0
+
+    def test_comm_cost_unchanged_by_pool(self, lsp, fast_config):
+        """The pool is a compute optimization; bytes must be identical."""
+        keypair = group_keypair(fast_config)
+        pool = NoncePool(keypair.public_key)
+        pool.refill(fast_config.delta + 5, rng=random.Random(3))
+        group = random_group(3, lsp.space, np.random.default_rng(11))
+        cfg = fast_config.without_sanitation()
+        plain = run_ppgnn(lsp, group, cfg, seed=6)
+        pooled = run_ppgnn(lsp, group, cfg, seed=6, nonce_pool=pool)
+        assert (
+            plain.report.total_comm_bytes == pooled.report.total_comm_bytes
+        )

@@ -1,0 +1,176 @@
+"""Tests for the candidate-query layout and the query index (Eqn 12)."""
+
+import random
+from collections import Counter
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import ConfigurationError
+from repro.partition.layout import GroupLayout
+from repro.partition.solver import PartitionParameters, solve_partition
+
+
+@pytest.fixture()
+def layout():
+    # The running example of Figures 3-4: n=4, d=4, delta=8.
+    return GroupLayout(solve_partition(4, 4, 8))
+
+
+def label_sets(n, d):
+    """Distinguishable location-set stand-ins."""
+    return [[f"u{u}l{j}" for j in range(d)] for u in range(n)]
+
+
+class TestStructure:
+    def test_basic_shape(self, layout):
+        assert layout.n == 4 and layout.d == 4
+        assert layout.alpha == 2 and layout.beta == 2
+        assert layout.delta_prime == 8
+
+    def test_segment_offsets(self, layout):
+        assert layout.segment_offset(0) == 0
+        assert layout.segment_offset(1) == 2
+
+    def test_subgroup_assignment_by_user_id(self, layout):
+        # First n_1 users in subgroup 0, the rest in subgroup 1 (Section 4.2).
+        assert [layout.subgroup_of_user(i) for i in range(4)] == [0, 0, 1, 1]
+        with pytest.raises(ConfigurationError):
+            layout.subgroup_of_user(4)
+
+    def test_users_of_subgroup(self, layout):
+        assert list(layout.users_of_subgroup(0)) == [0, 1]
+        assert list(layout.users_of_subgroup(1)) == [2, 3]
+        with pytest.raises(ConfigurationError):
+            layout.users_of_subgroup(2)
+
+
+class TestQueryIndex:
+    def test_paper_example_4_2(self, layout):
+        """Example 4.2: seg=2, x=(2,1) (1-based) -> query index 7 (1-based).
+
+        0-based: segment 1, positions (1, 0) -> index 6.
+        """
+        assert layout.query_index(1, (1, 0)) == 6
+
+    def test_all_indexes_bijective(self, layout):
+        seen = set()
+        for segment in range(layout.beta):
+            size = layout.params.segment_sizes[segment]
+            for x1 in range(size):
+                for x2 in range(size):
+                    seen.add(layout.query_index(segment, (x1, x2)))
+        assert seen == set(range(layout.delta_prime))
+
+    def test_position_of_index_inverse(self, layout):
+        for qi in range(layout.delta_prime):
+            segment, positions = layout.position_of_index(qi)
+            assert layout.query_index(segment, positions) == qi
+
+    def test_validation(self, layout):
+        with pytest.raises(ConfigurationError):
+            layout.query_index(5, (0, 0))
+        with pytest.raises(ConfigurationError):
+            layout.query_index(0, (0,))
+        with pytest.raises(ConfigurationError):
+            layout.query_index(0, (9, 0))
+        with pytest.raises(ConfigurationError):
+            layout.position_of_index(8)
+
+    @settings(max_examples=40, deadline=None)
+    @given(
+        st.integers(min_value=1, max_value=4),
+        st.integers(min_value=2, max_value=10),
+        st.integers(min_value=2, max_value=60),
+        st.integers(min_value=0, max_value=10**6),
+    )
+    def test_index_roundtrip_property(self, n, d, delta, qi_seed):
+        if delta > d**n:
+            return
+        layout = GroupLayout(solve_partition(n, d, delta))
+        qi = qi_seed % layout.delta_prime
+        segment, positions = layout.position_of_index(qi)
+        assert layout.query_index(segment, positions) == qi
+
+
+class TestCandidateEnumeration:
+    def test_count_and_uniqueness(self, layout):
+        sets = label_sets(4, 4)
+        candidates = list(layout.enumerate_candidates(sets))
+        assert len(candidates) == 8
+        assert len(set(candidates)) == 8
+
+    def test_matches_figure_3(self, layout):
+        """Candidates of segment 1 combine subgroup slots exactly as Fig 3c."""
+        sets = label_sets(4, 4)
+        candidates = list(layout.enumerate_candidates(sets))
+        # First candidate: everyone at position 0.
+        assert candidates[0] == ("u0l0", "u1l0", "u2l0", "u3l0")
+        # Second: subgroup 0 at segment-0 position 0, subgroup 1 at position 1.
+        assert candidates[1] == ("u0l0", "u1l0", "u2l1", "u3l1")
+        # Candidate 4 opens segment 1 (positions 2..3).
+        assert candidates[4] == ("u0l2", "u1l2", "u2l2", "u3l2")
+
+    def test_candidate_at_random_access(self, layout):
+        sets = label_sets(4, 4)
+        candidates = list(layout.enumerate_candidates(sets))
+        for qi, expected in enumerate(candidates):
+            assert layout.candidate_at(sets, qi) == expected
+
+    def test_each_user_contributes_own_location(self, layout):
+        sets = label_sets(4, 4)
+        for candidate in layout.enumerate_candidates(sets):
+            for user, value in enumerate(candidate):
+                assert value.startswith(f"u{user}l")
+
+    def test_wrong_set_count_rejected(self, layout):
+        with pytest.raises(ConfigurationError):
+            list(layout.enumerate_candidates(label_sets(3, 4)))
+
+    def test_wrong_set_length_rejected(self, layout):
+        sets = label_sets(4, 4)
+        sets[2] = sets[2][:3]
+        with pytest.raises(ConfigurationError):
+            list(layout.enumerate_candidates(sets))
+
+
+class TestPlacement:
+    def test_real_query_lands_at_query_index(self, layout):
+        sets = label_sets(4, 4)
+        rng = random.Random(5)
+        candidates = list(layout.enumerate_candidates(sets))
+        for _ in range(100):
+            plan = layout.plan_placement(rng)
+            real = tuple(
+                sets[u][plan.absolute_positions[layout.subgroup_of_user(u)]]
+                for u in range(4)
+            )
+            assert candidates[plan.query_index] == real
+
+    def test_placement_positions_within_segment(self, layout):
+        rng = random.Random(6)
+        for _ in range(50):
+            plan = layout.plan_placement(rng)
+            size = layout.params.segment_sizes[plan.segment]
+            offset = layout.segment_offset(plan.segment)
+            for x, pos in zip(plan.relative_positions, plan.absolute_positions):
+                assert 0 <= x < size
+                assert pos == offset + x
+
+    def test_slot_distribution_uniform(self):
+        """Theorem 4.3 (Privacy I): every slot equally likely (prob 1/d).
+
+        Segments are drawn with probability proportional to size, positions
+        uniformly within — the absolute slot must be uniform over [0, d).
+        """
+        layout = GroupLayout(solve_partition(4, 6, 20))
+        rng = random.Random(7)
+        counts = Counter()
+        trials = 12_000
+        for _ in range(trials):
+            plan = layout.plan_placement(rng)
+            counts[plan.absolute_positions[0]] += 1
+        expected = trials / layout.d
+        for slot in range(layout.d):
+            assert 0.8 * expected < counts[slot] < 1.2 * expected

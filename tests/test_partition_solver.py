@@ -1,0 +1,119 @@
+"""Tests for the partition-parameter solver (Eqns 7-10)."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import ConfigurationError, InfeasibleError
+from repro.partition.solver import (
+    PartitionParameters,
+    solve_partition,
+    solve_partition_brute_force,
+)
+
+
+class TestPartitionParameters:
+    def test_derived_properties(self):
+        p = PartitionParameters((2, 2), (2, 2), 8)
+        assert p.alpha == 2 and p.beta == 2
+        assert p.n == 4 and p.d == 4
+
+    def test_inconsistent_delta_prime_rejected(self):
+        with pytest.raises(ConfigurationError):
+            PartitionParameters((2, 2), (2, 2), 9)
+
+    def test_empty_or_nonpositive_rejected(self):
+        with pytest.raises(ConfigurationError):
+            PartitionParameters((), (1,), 1)
+        with pytest.raises(ConfigurationError):
+            PartitionParameters((1,), (0,), 0)
+
+
+class TestSolveKnownCases:
+    def test_paper_example(self):
+        """Figure 3: n=4, d=4, delta=8 -> two subgroups, segments (2,2)."""
+        p = solve_partition(4, 4, 8)
+        assert p.alpha == 2
+        assert p.segment_sizes == (2, 2)
+        assert p.delta_prime == 8
+
+    def test_single_user_case(self):
+        """Section 4.1: n=1, delta=d -> alpha=1, beta=d, unit segments."""
+        p = solve_partition(1, 25, 25)
+        assert p.alpha == 1
+        assert p.delta_prime == 25
+        assert p.segment_sizes == (1,) * 25
+
+    def test_paper_default_setting(self):
+        """(n=8, d=25, delta=100): delta' lands within a few of delta."""
+        p = solve_partition(8, 25, 100)
+        assert 100 <= p.delta_prime <= 102
+
+    def test_constraints_always_hold(self):
+        for n, d, delta in [(2, 5, 20), (4, 10, 50), (8, 25, 100), (16, 25, 200)]:
+            p = solve_partition(n, d, delta)
+            assert p.delta_prime >= delta  # Eqn (8)
+            assert sum(p.segment_sizes) == d  # Eqn (9)
+            assert p.alpha <= n  # Eqn (10)
+            assert p.beta <= d
+            assert sum(p.subgroup_sizes) == n
+
+    def test_delta_equals_one_lower_bound(self):
+        # Trivial privacy: with delta <= d, alpha=1 and delta'=d is optimal.
+        p = solve_partition(5, 10, 10)
+        assert p.delta_prime == 10 and p.alpha == 1
+
+    def test_delta_at_maximum(self):
+        # delta = d^n forces the single-segment full cartesian product.
+        p = solve_partition(2, 4, 16)
+        assert p.delta_prime == 16
+        assert p.segment_sizes == (4,)
+
+    def test_infeasible_raises(self):
+        with pytest.raises(InfeasibleError):
+            solve_partition(2, 3, 10)  # 3^2 = 9 < 10
+
+    def test_input_validation(self):
+        for bad in [(0, 5, 5), (2, 0, 5), (2, 5, 0)]:
+            with pytest.raises(ConfigurationError):
+                solve_partition(*bad)
+
+    def test_subgroups_balanced(self):
+        p = solve_partition(7, 6, 30)
+        sizes = p.subgroup_sizes
+        assert max(sizes) - min(sizes) <= 1
+
+    def test_deterministic_and_cached(self):
+        assert solve_partition(6, 12, 60) is solve_partition(6, 12, 60)
+
+
+class TestSolverOptimality:
+    @settings(max_examples=60, deadline=None)
+    @given(
+        st.integers(min_value=1, max_value=4),
+        st.integers(min_value=2, max_value=12),
+        st.integers(min_value=2, max_value=120),
+    )
+    def test_matches_bruteforce_optimum(self, n, d, delta):
+        if delta > d**n:
+            return
+        fast = solve_partition(n, d, delta)
+        slow = solve_partition_brute_force(n, d, delta)
+        assert fast.delta_prime == slow.delta_prime
+
+    def test_delta_prime_monotone_in_delta(self):
+        """A stricter Privacy II requirement cannot shrink delta'."""
+        previous = 0
+        for delta in range(25, 201, 25):
+            current = solve_partition(8, 25, delta).delta_prime
+            assert current >= previous
+            previous = current
+
+    def test_gap_small_on_paper_grid(self):
+        """Section 8.3 claims delta' - delta averages ~1 on their grid."""
+        gaps = []
+        for n in (2, 8, 16, 32):
+            for d in (25, 50):
+                for delta in (50, 100, 150, 200):
+                    gaps.append(solve_partition(n, d, delta).delta_prime - delta)
+        assert sum(gaps) / len(gaps) <= 2.0

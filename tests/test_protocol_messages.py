@@ -1,0 +1,110 @@
+"""Tests for message wire sizes — the paper's communication cost model."""
+
+import pytest
+
+from repro.crypto.homomorphic import encrypt_indicator
+from repro.crypto.paillier import generate_keypair
+from repro.encoding.answers import DecodedAnswer
+from repro.errors import ProtocolError
+from repro.geometry.point import Point
+from repro.protocol.messages import (
+    EncryptedAnswer,
+    GenericMessage,
+    GroupQueryRequest,
+    LocationSetUpload,
+    OptGroupQueryRequest,
+    PlaintextAnswerBroadcast,
+    PositionAssignment,
+    SingleQueryRequest,
+)
+
+
+@pytest.fixture(scope="module")
+def kp():
+    return generate_keypair(256, seed=404)
+
+
+class TestElementarySizes:
+    def test_position_assignment(self):
+        assert PositionAssignment(3).byte_size == 4
+
+    def test_location_set_upload(self):
+        """L_l = 16 bytes per location plus the user id."""
+        locations = tuple(Point(0.1 * i, 0.2 * i) for i in range(25))
+        assert LocationSetUpload(0, locations).byte_size == 4 + 16 * 25
+
+    def test_generic_message(self):
+        assert GenericMessage("blob", 123).byte_size == 123
+
+    def test_plaintext_broadcast(self):
+        answers = tuple(DecodedAnswer(i, Point(0, 0)) for i in range(5))
+        assert PlaintextAnswerBroadcast(answers).byte_size == 4 + 8 * 5
+
+
+class TestCiphertextSizes:
+    def test_eps1_indicator_size(self, kp):
+        """Each eps_1 ciphertext is 2 * keysize / 8 = 64 bytes at 256 bits."""
+        _, pk = kp
+        indicator = tuple(encrypt_indicator(pk, 10, 0))
+        request = SingleQueryRequest(
+            k=8,
+            public_key=pk,
+            locations=tuple(Point(0, 0) for _ in range(10)),
+            indicator=indicator,
+        )
+        expected = 4 + 32 + 10 * 16 + 10 * 64
+        assert request.byte_size == expected
+
+    def test_group_request_size(self, kp):
+        _, pk = kp
+        indicator = tuple(encrypt_indicator(pk, 8, 0))
+        request = GroupQueryRequest(
+            k=8,
+            public_key=pk,
+            subgroup_sizes=(2, 2),
+            segment_sizes=(2, 2),
+            indicator=indicator,
+            theta0=0.05,
+        )
+        expected = 4 + 32 + 4 * 4 + 8 * 64 + 8
+        assert request.byte_size == expected
+
+    def test_opt_request_eps2_costs_1_5x(self, kp):
+        """An eps_2 ciphertext is 3 * keysize / 8 = 96 bytes at 256 bits."""
+        _, pk = kp
+        inner = tuple(encrypt_indicator(pk, 4, 0, s=1))
+        outer = tuple(encrypt_indicator(pk, 2, 0, s=2))
+        request = OptGroupQueryRequest(
+            k=8,
+            public_key=pk,
+            subgroup_sizes=(2, 2),
+            segment_sizes=(2, 2),
+            inner_indicator=inner,
+            outer_indicator=outer,
+            theta0=0.05,
+        )
+        expected = 4 + 32 + 16 + 4 * 64 + 2 * 96 + 8
+        assert request.byte_size == expected
+
+    def test_opt_request_level_validation(self, kp):
+        _, pk = kp
+        eps1 = tuple(encrypt_indicator(pk, 2, 0, s=1))
+        eps2 = tuple(encrypt_indicator(pk, 2, 0, s=2))
+        with pytest.raises(ProtocolError):
+            OptGroupQueryRequest(8, pk, (1,), (1, 1), eps2, eps2, None)
+        with pytest.raises(ProtocolError):
+            OptGroupQueryRequest(8, pk, (1,), (1, 1), eps1, eps1, None)
+
+    def test_encrypted_answer_size(self, kp):
+        _, pk = kp
+        answer = EncryptedAnswer(tuple(encrypt_indicator(pk, 3, 0)))
+        assert answer.byte_size == 3 * 64
+
+    def test_opt_indicators_smaller_than_plain_for_large_delta(self, kp):
+        """The Section 6 premise: sqrt-sized indicators beat a linear one."""
+        _, pk = kp
+        delta_prime = 64
+        plain = sum(c.byte_size for c in encrypt_indicator(pk, delta_prime, 0))
+        inner = sum(c.byte_size for c in encrypt_indicator(pk, 8, 0, s=1))
+        outer = sum(c.byte_size for c in encrypt_indicator(pk, 8, 0, s=2))
+        assert inner + outer < plain

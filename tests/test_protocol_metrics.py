@@ -1,0 +1,79 @@
+"""Tests for the cost ledger and report."""
+
+import time
+
+from repro.crypto.homomorphic import OpCounter
+from repro.protocol.messages import GenericMessage
+from repro.protocol.metrics import COORDINATOR, LSP, USER, CostLedger
+
+
+class TestLedgerAccounting:
+    def test_record_accumulates_per_link(self):
+        ledger = CostLedger()
+        ledger.record(USER, LSP, GenericMessage("a", 100))
+        ledger.record(USER, LSP, GenericMessage("b", 50))
+        ledger.record(LSP, COORDINATOR, GenericMessage("c", 10))
+        report = ledger.report()
+        assert report.link_bytes(USER, LSP) == 150
+        assert report.link_bytes(LSP, COORDINATOR) == 10
+        assert report.link_bytes(COORDINATOR, LSP) == 0
+        assert report.total_comm_bytes == 160
+        assert report.messages_by_link[(USER, LSP)] == 2
+
+    def test_broadcast_counts_every_receiver(self):
+        ledger = CostLedger()
+        ledger.record_broadcast(COORDINATOR, 7, GenericMessage("x", 20), USER)
+        report = ledger.report()
+        assert report.link_bytes(COORDINATOR, USER) == 140
+        assert report.messages_by_link[(COORDINATOR, USER)] == 7
+
+    def test_intra_group_bytes_exclude_lsp_links(self):
+        ledger = CostLedger()
+        ledger.record(USER, USER, GenericMessage("peer", 30))
+        ledger.record(COORDINATOR, USER, GenericMessage("pos", 4))
+        ledger.record(USER, LSP, GenericMessage("up", 99))
+        assert ledger.report().intra_group_comm_bytes == 34
+
+    def test_clock_attributes_time_to_role(self):
+        ledger = CostLedger()
+        with ledger.clock(LSP):
+            time.sleep(0.01)
+        with ledger.clock(USER):
+            time.sleep(0.002)
+        report = ledger.report()
+        assert report.lsp_cost_seconds >= 0.009
+        assert report.time_by_role[USER] >= 0.001
+
+    def test_user_cost_sums_users_and_coordinator(self):
+        ledger = CostLedger()
+        with ledger.clock(USER):
+            time.sleep(0.003)
+        with ledger.clock(COORDINATOR):
+            time.sleep(0.003)
+        assert ledger.report().user_cost_seconds >= 0.005
+
+    def test_clock_survives_exceptions(self):
+        ledger = CostLedger()
+        try:
+            with ledger.clock(LSP):
+                time.sleep(0.002)
+                raise RuntimeError("boom")
+        except RuntimeError:
+            pass
+        assert ledger.report().lsp_cost_seconds >= 0.001
+
+    def test_counters_per_role(self):
+        ledger = CostLedger()
+        ledger.counter(LSP).scalar_muls += 5
+        ledger.counter("auditor").additions += 1  # unknown roles allowed
+        report = ledger.report()
+        assert report.ops_by_role[LSP].scalar_muls == 5
+        assert report.ops_by_role["auditor"].additions == 1
+        assert isinstance(report.ops_by_role[USER], OpCounter)
+
+    def test_report_is_a_snapshot(self):
+        ledger = CostLedger()
+        ledger.record(USER, LSP, GenericMessage("x", 1))
+        report = ledger.report()
+        ledger.record(USER, LSP, GenericMessage("y", 1))
+        assert report.total_comm_bytes == 1
