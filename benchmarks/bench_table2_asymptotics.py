@@ -15,7 +15,6 @@ slope: linear terms must fit slope ~1.0 and sqrt terms slope ~0.5.
 
 from __future__ import annotations
 
-import math
 
 import numpy as np
 

@@ -13,7 +13,6 @@ from __future__ import annotations
 
 import time
 
-import numpy as np
 
 from repro import LSPServer, PPGNNConfig, run_single_user
 from repro.baselines import APNNServer, run_apnn

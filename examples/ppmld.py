@@ -15,7 +15,6 @@ Run:  python examples/ppmld.py
 
 from __future__ import annotations
 
-import numpy as np
 
 from repro import LSPServer, PPGNNConfig, run_ppgnn
 from repro.datasets import load_sequoia

@@ -12,7 +12,6 @@ Run:  python examples/road_network.py
 
 from __future__ import annotations
 
-import numpy as np
 
 from repro import LSPServer, PPGNNConfig, run_ppgnn
 from repro.datasets import uniform_pois

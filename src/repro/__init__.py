@@ -42,10 +42,18 @@ from repro.errors import (
     ConfigurationError,
     CryptoError,
     EncodingError,
+    GroupMemberLostError,
     InfeasibleError,
     ProtocolError,
     ReproError,
+    RetryExhaustedError,
+    TransportError,
 )
+from repro.transport.channel import FaultyChannel, PerfectChannel
+from repro.transport.faults import FaultPlan, LinkFaults
+from repro.transport.retry import RetryPolicy
+from repro.transport.session import ResilientSession
+from repro.transport.transport import Transport
 
 __version__ = "1.0.0"
 
@@ -68,5 +76,15 @@ __all__ = [
     "EncodingError",
     "ProtocolError",
     "InfeasibleError",
+    "TransportError",
+    "RetryExhaustedError",
+    "GroupMemberLostError",
+    "Transport",
+    "ResilientSession",
+    "PerfectChannel",
+    "FaultyChannel",
+    "FaultPlan",
+    "LinkFaults",
+    "RetryPolicy",
     "__version__",
 ]

@@ -45,7 +45,7 @@ from repro.protocol.messages import (
     INT_BYTES,
     LOCATION_BYTES,
 )
-from repro.protocol.metrics import COORDINATOR, LSP, USER, CostLedger
+from repro.protocol.metrics import LSP, USER, CostLedger
 
 #: Bytes per candidate POI shipped by the LSP (id + coordinates).
 CANDIDATE_BYTES = INT_BYTES + LOCATION_BYTES

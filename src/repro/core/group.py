@@ -46,6 +46,7 @@ from repro.protocol.messages import (
     PositionAssignment,
 )
 from repro.protocol.metrics import COORDINATOR, LSP, USER, CostLedger
+from repro.transport.transport import Transport, send
 
 
 def random_group(
@@ -64,6 +65,7 @@ def run_ppgnn(
     seed: int = 0,
     dummy_generator=None,
     nonce_pool=None,
+    transport: Transport | None = None,
 ) -> ProtocolResult:
     """Execute one full PPGNN round and return the answer plus cost report.
 
@@ -72,7 +74,9 @@ def run_ppgnn(
     :class:`~repro.crypto.noncepool.NoncePool` under the group key) moves
     the indicator encryption's obfuscation exponentiations offline — the
     mobile-coordinator optimization; the measured coordinator time then
-    covers only the online phase.
+    covers only the online phase.  ``transport`` routes every message
+    through a :mod:`repro.transport` channel (envelopes, checksums,
+    retries); None keeps the historical perfect in-memory network.
     """
     n = len(locations)
     if n < 1:
@@ -110,32 +114,33 @@ def run_ppgnn(
             indicator=tuple(indicator),
             theta0=config.theta0 if config.sanitize else None,
         )
+    positions = {}
     for subgroup, position in enumerate(plan.absolute_positions):
         message = PositionAssignment(position)
-        for _ in layout.users_of_subgroup(subgroup):
-            ledger.record(COORDINATOR, USER, message)
-    ledger.record(COORDINATOR, LSP, request)
+        for user in layout.users_of_subgroup(subgroup):
+            delivered = send(transport, ledger, COORDINATOR, f"user:{user}", message)
+            positions[user] = delivered.position
+    request = send(transport, ledger, COORDINATOR, LSP, request)
 
     # --- Algorithm 1: every user uploads its location set ----------------
     uploads = []
     for i, real in enumerate(locations):
-        position = plan.absolute_positions[layout.subgroup_of_user(i)]
         with ledger.clock(USER):
             location_set = build_location_set(
-                real, position, config.d, lsp.space, nprng, dummy_generator
+                real, positions[i], config.d, lsp.space, nprng, dummy_generator
             )
             upload = LocationSetUpload(i, location_set)
-        ledger.record(USER, LSP, upload)
-        uploads.append(upload)
+        uploads.append(send(transport, ledger, f"user:{i}", LSP, upload))
 
     # --- Algorithm 2: LSP (clocked inside the handler) -------------------
     encrypted = lsp.answer_group_query(request, uploads, ledger)
-    ledger.record(LSP, COORDINATOR, encrypted)
+    encrypted = send(transport, ledger, LSP, COORDINATOR, encrypted)
 
     # --- Answer decryption and broadcast ----------------------------------
     answers = decrypt_answer(keypair, codec, encrypted, ledger)
     broadcast = PlaintextAnswerBroadcast(tuple(answers))
-    ledger.record_broadcast(COORDINATOR, n - 1, broadcast, USER)
+    for user in range(1, n):
+        send(transport, ledger, COORDINATOR, f"user:{user}", broadcast)
 
     return ProtocolResult(
         protocol="ppgnn" if config.sanitize else "ppgnn-nas",

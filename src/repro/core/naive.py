@@ -37,6 +37,7 @@ from repro.protocol.messages import (
     PositionAssignment,
 )
 from repro.protocol.metrics import COORDINATOR, LSP, USER, CostLedger
+from repro.transport.transport import Transport, send
 
 
 def naive_partition(n: int, delta: int) -> PartitionParameters:
@@ -54,8 +55,13 @@ def run_naive(
     config: PPGNNConfig,
     seed: int = 0,
     dummy_generator=None,
+    transport: Transport | None = None,
 ) -> ProtocolResult:
-    """Execute one Naive-solution round."""
+    """Execute one Naive-solution round.
+
+    ``transport`` routes every message through a :mod:`repro.transport`
+    channel; None keeps the historical perfect in-memory network.
+    """
     n = len(locations)
     if n < 1:
         raise ConfigurationError("a group needs at least one user")
@@ -85,27 +91,29 @@ def run_naive(
         )
     position = plan.absolute_positions[0]
     message = PositionAssignment(position)
-    for _ in range(n):
-        ledger.record(COORDINATOR, USER, message)
-    ledger.record(COORDINATOR, LSP, request)
+    positions = {}
+    for user in range(n):
+        delivered = send(transport, ledger, COORDINATOR, f"user:{user}", message)
+        positions[user] = delivered.position
+    request = send(transport, ledger, COORDINATOR, LSP, request)
 
     uploads = []
     for i, real in enumerate(locations):
         with ledger.clock(USER):
             # The naive cost driver: every user pads to delta locations.
             location_set = build_location_set(
-                real, position, config.delta, lsp.space, nprng, dummy_generator
+                real, positions[i], config.delta, lsp.space, nprng, dummy_generator
             )
             upload = LocationSetUpload(i, location_set)
-        ledger.record(USER, LSP, upload)
-        uploads.append(upload)
+        uploads.append(send(transport, ledger, f"user:{i}", LSP, upload))
 
     encrypted = lsp.answer_group_query(request, uploads, ledger)
-    ledger.record(LSP, COORDINATOR, encrypted)
+    encrypted = send(transport, ledger, LSP, COORDINATOR, encrypted)
 
     answers = decrypt_answer(keypair, codec, encrypted, ledger)
     broadcast = PlaintextAnswerBroadcast(tuple(answers))
-    ledger.record_broadcast(COORDINATOR, n - 1, broadcast, USER)
+    for user in range(1, n):
+        send(transport, ledger, COORDINATOR, f"user:{user}", broadcast)
 
     return ProtocolResult(
         protocol="naive",

@@ -46,6 +46,7 @@ from repro.protocol.messages import (
     PositionAssignment,
 )
 from repro.protocol.metrics import COORDINATOR, LSP, USER, CostLedger
+from repro.transport.transport import Transport, send
 
 
 def paper_omega(delta_prime: int) -> int:
@@ -83,11 +84,14 @@ def run_ppgnn_opt(
     seed: int = 0,
     omega: int | None = None,
     dummy_generator=None,
+    transport: Transport | None = None,
 ) -> ProtocolResult:
     """Execute one PPGNN-OPT round (group sizes n >= 1).
 
     ``omega`` overrides the block count (the omega-sweep ablation uses it);
-    by default the exact integer optimum is chosen.
+    by default the exact integer optimum is chosen.  ``transport`` routes
+    every message through a :mod:`repro.transport` channel; None keeps the
+    historical perfect in-memory network.
     """
     n = len(locations)
     if n < 1:
@@ -125,29 +129,30 @@ def run_ppgnn_opt(
             outer_indicator=tuple(outer),
             theta0=config.theta0 if config.sanitize else None,
         )
+    positions = {}
     for subgroup, position in enumerate(plan.absolute_positions):
         message = PositionAssignment(position)
-        for _ in layout.users_of_subgroup(subgroup):
-            ledger.record(COORDINATOR, USER, message)
-    ledger.record(COORDINATOR, LSP, request)
+        for user in layout.users_of_subgroup(subgroup):
+            delivered = send(transport, ledger, COORDINATOR, f"user:{user}", message)
+            positions[user] = delivered.position
+    request = send(transport, ledger, COORDINATOR, LSP, request)
 
     uploads = []
     for i, real in enumerate(locations):
-        position = plan.absolute_positions[layout.subgroup_of_user(i)]
         with ledger.clock(USER):
             location_set = build_location_set(
-                real, position, config.d, lsp.space, nprng, dummy_generator
+                real, positions[i], config.d, lsp.space, nprng, dummy_generator
             )
             upload = LocationSetUpload(i, location_set)
-        ledger.record(USER, LSP, upload)
-        uploads.append(upload)
+        uploads.append(send(transport, ledger, f"user:{i}", LSP, upload))
 
     encrypted = lsp.answer_group_query_opt(request, uploads, ledger)
-    ledger.record(LSP, COORDINATOR, encrypted)
+    encrypted = send(transport, ledger, LSP, COORDINATOR, encrypted)
 
     answers = decrypt_answer(keypair, codec, encrypted, ledger, nested=True)
     broadcast = PlaintextAnswerBroadcast(tuple(answers))
-    ledger.record_broadcast(COORDINATOR, n - 1, broadcast, USER)
+    for user in range(1, n):
+        send(transport, ledger, COORDINATOR, f"user:{user}", broadcast)
 
     return ProtocolResult(
         protocol="ppgnn-opt",

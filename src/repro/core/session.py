@@ -72,6 +72,12 @@ class QuerySession:
         ``"ppgnn"`` (default), ``"ppgnn-opt"``, or ``"naive"``.
     seed:
         Session seed; query i runs with ``seed + i``.
+    max_history:
+        Retained :class:`ProtocolResult` count.  A long-lived session would
+        otherwise grow ``history`` (and every transcript it pins) without
+        bound; only the newest ``max_history`` results are kept, while
+        ``totals`` stays exact over *all* queries.  ``None`` disables the
+        cap.
     """
 
     lsp: LSPServer
@@ -80,6 +86,7 @@ class QuerySession:
     seed: int = 0
     totals: SessionTotals = field(default_factory=SessionTotals)
     history: list[ProtocolResult] = field(default_factory=list)
+    max_history: int | None = 256
 
     def __post_init__(self) -> None:
         if self.protocol not in _RUNNERS:
@@ -90,6 +97,14 @@ class QuerySession:
             raise ConfigurationError(
                 "sessions reuse one key pair; set config.key_seed"
             )
+        if self.max_history is not None and self.max_history < 0:
+            raise ConfigurationError("max_history must be non-negative or None")
+
+    def _remember(self, result: ProtocolResult) -> None:
+        """Append to history, trimming to the newest ``max_history`` entries."""
+        self.history.append(result)
+        if self.max_history is not None and len(self.history) > self.max_history:
+            del self.history[: len(self.history) - self.max_history]
 
     def query(self, locations: Sequence[Point]) -> ProtocolResult:
         """Run one group query and fold its costs into the session totals."""
@@ -98,7 +113,7 @@ class QuerySession:
             self.lsp, locations, self.config, seed=self.seed + self.totals.queries
         )
         self.totals.add(result)
-        self.history.append(result)
+        self._remember(result)
         return result
 
     def reset_totals(self) -> SessionTotals:

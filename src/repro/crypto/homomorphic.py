@@ -16,7 +16,7 @@ time (used by tests for deterministic cost assertions).
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Sequence
 
 from repro.crypto.paillier import Ciphertext, PaillierPublicKey

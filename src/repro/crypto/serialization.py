@@ -38,14 +38,25 @@ def _pack_int(value: int) -> bytes:
 
 
 def _unpack_int(data: bytes, offset: int) -> tuple[int, int]:
-    """Decode one length-prefixed integer; returns (value, next offset)."""
+    """Decode one length-prefixed integer; returns (value, next offset).
+
+    Only the canonical (minimal-length) encoding :func:`_pack_int` emits is
+    accepted: zero-length bodies and redundant leading zero bytes are
+    rejected, so every integer has exactly one byte representation and a
+    tampered length prefix cannot smuggle in an equal-valued payload.
+    """
     if offset + 4 > len(data):
         raise CryptoError("truncated integer length prefix")
     (length,) = struct.unpack_from(">I", data, offset)
     offset += 4
+    if length == 0:
+        raise CryptoError("zero-length integer body")
     if offset + length > len(data):
         raise CryptoError("truncated integer payload")
-    return int.from_bytes(data[offset : offset + length], "big"), offset + length
+    raw = data[offset : offset + length]
+    if length > 1 and raw[0] == 0:
+        raise CryptoError("non-canonical integer encoding (leading zero bytes)")
+    return int.from_bytes(raw, "big"), offset + length
 
 
 def _check_header(data: bytes, magic: bytes) -> int:
@@ -55,7 +66,10 @@ def _check_header(data: bytes, magic: bytes) -> int:
         raise CryptoError(f"bad magic: expected {magic!r}, got {data[:4]!r}")
     (version,) = struct.unpack_from(">H", data, 4)
     if version != _VERSION:
-        raise CryptoError(f"unsupported serialization version {version}")
+        raise CryptoError(
+            f"unsupported serialization format version {version}; "
+            f"this library reads only version {_VERSION}"
+        )
     return 6
 
 
@@ -109,6 +123,8 @@ def deserialize_ciphertext(data: bytes, pk: PaillierPublicKey) -> Ciphertext:
     if offset + 1 > len(data):
         raise CryptoError("truncated ciphertext level")
     s = data[offset]
+    if s < 1:
+        raise CryptoError("ciphertext level must be >= 1")
     offset += 1
     value, offset = _unpack_int(data, offset)
     if offset != len(data):

@@ -48,3 +48,44 @@ class InfeasibleError(ConfigurationError):
     Raised by the partition-parameter solver when ``delta > d ** n`` — the
     paper requires users to pick a larger ``d`` in that case.
     """
+
+
+class TransportError(ReproError):
+    """A message could not be carried across an unreliable channel.
+
+    Base class for delivery failures in :mod:`repro.transport`; protocol
+    answers are never silently wrong — an undeliverable message surfaces
+    as one of the subclasses below instead.
+    """
+
+
+class RetryExhaustedError(TransportError):
+    """Every retransmission attempt for one message failed.
+
+    Carries the directed ``link`` and the number of ``attempts`` made so
+    callers can report which hop of the protocol died.
+    """
+
+    def __init__(self, link: tuple[str, str], attempts: int) -> None:
+        self.link = link
+        self.attempts = attempts
+        super().__init__(
+            f"link {link[0]} -> {link[1]} dead after {attempts} attempts"
+        )
+
+
+class GroupMemberLostError(TransportError, ProtocolError):
+    """A group member became unreachable mid-protocol.
+
+    Also a :class:`ProtocolError`: losing a member invalidates the round's
+    partition layout.  ``user_index`` identifies the lost member so a
+    resilient caller can re-run the round with the survivors.
+    """
+
+    def __init__(self, party: str, user_index: int, attempts: int) -> None:
+        self.party = party
+        self.user_index = user_index
+        self.attempts = attempts
+        super().__init__(
+            f"group member {party} unreachable after {attempts} attempts"
+        )

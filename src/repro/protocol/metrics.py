@@ -94,13 +94,16 @@ class CostLedger:
     transcript: list = field(default_factory=list)
 
     def record(self, sender: str, receiver: str, message: Message) -> None:
-        """Account one message crossing the ``sender -> receiver`` link."""
+        """Account one message crossing the ``sender -> receiver`` link.
+
+        Wrappers (e.g. transport envelopes) expose a ``transcript_kind`` so
+        the transcript names the payload they carry, not the wrapper.
+        """
         size = message.byte_size
+        kind = getattr(message, "transcript_kind", type(message).__name__)
         self.comm_bytes[(sender, receiver)] += size
         self.message_counts[(sender, receiver)] += 1
-        self.transcript.append(
-            TranscriptEntry(sender, receiver, type(message).__name__, size)
-        )
+        self.transcript.append(TranscriptEntry(sender, receiver, kind, size))
 
     def record_broadcast(
         self, sender: str, receivers: int, message: Message, receiver_role: str

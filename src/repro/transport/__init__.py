@@ -1,0 +1,69 @@
+"""Fault-injecting transport: channels, envelopes, retries, resilience.
+
+The protocol runners default to a perfect in-memory network (the paper's
+idealization).  This package makes the network a first-class, breakable
+component: seeded fault injection per link (:mod:`~repro.transport.faults`),
+checksummed sequence-numbered envelopes (:mod:`~repro.transport.envelope`),
+a retry/timeout/backoff engine (:mod:`~repro.transport.transport`), and a
+session wrapper that regroups around dead members
+(:mod:`~repro.transport.session`).
+
+``ResilientSession`` is re-exported lazily — its module imports the core
+runners, which themselves import this package's delivery hook.
+"""
+
+from __future__ import annotations
+
+from repro.transport.channel import Channel, Delivery, FaultyChannel, PerfectChannel
+from repro.transport.envelope import (
+    ENVELOPE_OVERHEAD_BYTES,
+    Envelope,
+    Nack,
+    payload_checksum,
+    payload_fingerprint,
+    seal,
+)
+from repro.transport.faults import FaultPlan, LinkFaults, tamper
+from repro.transport.retry import RetryPolicy
+from repro.transport.transport import (
+    NETWORK,
+    Transport,
+    TransportStats,
+    party_role,
+    send,
+    user_index,
+)
+
+__all__ = [
+    "Channel",
+    "Delivery",
+    "ENVELOPE_OVERHEAD_BYTES",
+    "Envelope",
+    "FaultPlan",
+    "FaultyChannel",
+    "LinkFaults",
+    "Nack",
+    "NETWORK",
+    "PerfectChannel",
+    "ResilientSession",
+    "RetryPolicy",
+    "Transport",
+    "TransportStats",
+    "party_role",
+    "payload_checksum",
+    "payload_fingerprint",
+    "seal",
+    "send",
+    "tamper",
+    "user_index",
+]
+
+
+def __getattr__(name: str):
+    # Deferred: repro.transport.session -> repro.core.session -> the
+    # runners -> repro.transport.transport would otherwise be circular.
+    if name == "ResilientSession":
+        from repro.transport.session import ResilientSession
+
+        return ResilientSession
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")

@@ -1,0 +1,111 @@
+"""Channels: the (possibly unreliable) medium envelopes travel through.
+
+A channel turns one transmission into zero or more deliveries.
+:class:`PerfectChannel` is today's in-memory idealization — every envelope
+arrives exactly once, instantly.  :class:`FaultyChannel` interprets a
+seeded :class:`~repro.transport.faults.FaultPlan`: it drops, duplicates,
+corrupts, delays, and reorders copies per link, and silences parties whose
+scripted ``kill`` threshold has passed.  Reordered copies are held back
+and released on the link's *next* transmission, which in the synchronous
+simulation is exactly "this packet overtook the retransmission".
+"""
+
+from __future__ import annotations
+
+import random
+from collections import defaultdict
+from dataclasses import dataclass
+
+from repro.transport.envelope import Envelope
+from repro.transport.faults import FaultPlan, tamper
+
+
+@dataclass(frozen=True, slots=True)
+class Delivery:
+    """One envelope copy arriving at the receiver after ``latency_seconds``."""
+
+    envelope: Envelope
+    latency_seconds: float = 0.0
+
+
+class Channel:
+    """Base channel: transmit an envelope, get back the arriving copies."""
+
+    def transmit(self, envelope: Envelope) -> list[Delivery]:
+        raise NotImplementedError
+
+    def killed_party(self, link: tuple[str, str]) -> str | None:
+        """The dead endpoint of a link, if its silence is a scripted death."""
+        return None
+
+    def revive(self, party: str) -> None:
+        """Forget a scripted death (the group regrouped without the party)."""
+
+
+class PerfectChannel(Channel):
+    """The zero-fault medium: every envelope arrives once, instantly."""
+
+    def transmit(self, envelope: Envelope) -> list[Delivery]:
+        return [Delivery(envelope)]
+
+
+class FaultyChannel(Channel):
+    """A deterministic lossy medium driven by a :class:`FaultPlan`."""
+
+    def __init__(self, plan: FaultPlan) -> None:
+        self.plan = plan
+        self._rng = random.Random(plan.seed)
+        self._sent: defaultdict[str, int] = defaultdict(int)
+        self._holdback: defaultdict[tuple[str, str], list[Delivery]] = defaultdict(
+            list
+        )
+        self._revived: set[str] = set()
+
+    def _is_dead(self, party: str) -> bool:
+        if party in self._revived or party not in self.plan.kill:
+            return False
+        return self._sent[party] >= self.plan.kill[party]
+
+    def killed_party(self, link: tuple[str, str]) -> str | None:
+        for party in link:
+            if self._is_dead(party):
+                return party
+        return None
+
+    def revive(self, party: str) -> None:
+        self._revived.add(party)
+
+    def transmit(self, envelope: Envelope) -> list[Delivery]:
+        link = envelope.link
+        sender, receiver = link
+        sender_dead = self._is_dead(sender)
+        if not sender_dead:
+            self._sent[sender] += 1
+        if sender_dead or self._is_dead(receiver):
+            # A dead endpoint swallows everything, stragglers included.
+            self._holdback.pop(link, None)
+            return []
+        # Held-back copies from earlier transmissions arrive alongside.
+        arrivals = self._holdback.pop(link, [])
+        faults = self.plan.for_link(link)
+        copies = 2 if self._rng.random() < faults.duplicate else 1
+        for _ in range(copies):
+            if self._rng.random() < faults.drop:
+                continue
+            copy = envelope
+            if self._rng.random() < faults.corrupt:
+                copy = Envelope(
+                    link,
+                    envelope.seq,
+                    tamper(envelope.payload, self._rng),
+                    envelope.checksum,
+                )
+            latency = faults.latency_seconds
+            if faults.latency_jitter_seconds:
+                latency += self._rng.random() * faults.latency_jitter_seconds
+            delivery = Delivery(copy, latency)
+            if self._rng.random() < faults.reorder:
+                self._holdback[link].append(delivery)
+            else:
+                arrivals.append(delivery)
+        return arrivals

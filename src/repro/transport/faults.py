@@ -1,0 +1,171 @@
+"""Fault plans: seeded, per-link fault rates plus scripted party deaths.
+
+A :class:`FaultPlan` is pure configuration — the :class:`~repro.transport
+.channel.FaultyChannel` interprets it with a single seeded RNG, so a plan
+plus a seed replays the exact same fault sequence every run.  ``kill``
+scripts permanent mid-protocol deaths ("user 2 dies after sending 1
+message"), the failure mode :class:`~repro.transport.session
+.ResilientSession` regroups around.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field, fields, is_dataclass, replace
+from types import MappingProxyType
+from typing import Mapping
+
+from repro.crypto.paillier import Ciphertext
+from repro.errors import ConfigurationError
+from repro.geometry.point import Point
+from repro.protocol.messages import GenericMessage, Message
+
+_RATE_FIELDS = ("drop", "duplicate", "reorder", "corrupt")
+
+
+@dataclass(frozen=True, slots=True)
+class LinkFaults:
+    """Per-link fault probabilities and latency model.
+
+    Each rate is the independent per-copy probability of that fault;
+    ``latency_seconds`` (+ a uniform jitter) is charged to the simulated
+    network clock per delivered copy.
+    """
+
+    drop: float = 0.0
+    duplicate: float = 0.0
+    reorder: float = 0.0
+    corrupt: float = 0.0
+    latency_seconds: float = 0.0
+    latency_jitter_seconds: float = 0.0
+
+    def __post_init__(self) -> None:
+        for name in _RATE_FIELDS:
+            rate = getattr(self, name)
+            if not 0.0 <= rate < 1.0:
+                raise ConfigurationError(f"{name} rate must be in [0, 1)")
+        if self.latency_seconds < 0 or self.latency_jitter_seconds < 0:
+            raise ConfigurationError("latencies must be non-negative")
+
+
+@dataclass(frozen=True)
+class FaultPlan:
+    """Everything a :class:`FaultyChannel` needs to misbehave on schedule.
+
+    Attributes
+    ----------
+    default:
+        Fault rates applied to every link without an explicit override.
+    links:
+        Per-directed-link overrides, keyed by ``(sender, receiver)`` party
+        names (e.g. ``("user:2", "lsp")``).
+    seed:
+        RNG seed; the full fault sequence is a pure function of it.
+    kill:
+        Scripted deaths: ``party -> m`` kills the party permanently after
+        it has sent ``m`` messages (``0`` = dead from the start).
+    """
+
+    default: LinkFaults = field(default_factory=LinkFaults)
+    links: Mapping[tuple[str, str], LinkFaults] = field(
+        default_factory=lambda: MappingProxyType({})
+    )
+    seed: int = 0
+    kill: Mapping[str, int] = field(default_factory=lambda: MappingProxyType({}))
+
+    def __post_init__(self) -> None:
+        for party, after in self.kill.items():
+            if after < 0:
+                raise ConfigurationError(
+                    f"kill threshold for {party!r} must be non-negative"
+                )
+
+    @classmethod
+    def uniform(
+        cls,
+        rate: float,
+        seed: int = 0,
+        latency_seconds: float = 0.0,
+        **overrides,
+    ) -> "FaultPlan":
+        """All four fault kinds at the same rate on every link."""
+        faults = LinkFaults(
+            drop=rate,
+            duplicate=rate,
+            reorder=rate,
+            corrupt=rate,
+            latency_seconds=latency_seconds,
+        )
+        return cls(default=faults, seed=seed, **overrides)
+
+    def for_link(self, link: tuple[str, str]) -> LinkFaults:
+        """The fault rates governing one directed link."""
+        return self.links.get(link, self.default)
+
+
+def tamper(message: Message, rng: random.Random) -> Message:
+    """A transit-damaged copy of ``message`` (same wire size, wrong bytes).
+
+    Flips a low bit in the most safety-critical field available — a
+    ciphertext value (the garbage-decryption hazard the checksum exists
+    for), a location coordinate, or a small integer — and falls back to an
+    opaque placeholder for messages with no recognized field.  The result
+    always fingerprint-differs from the original, so the receiver's
+    checksum verification is guaranteed to catch it.
+    """
+    corrupted = _tamper_fields(message, rng)
+    if corrupted is not None:
+        return corrupted
+    return GenericMessage(kind="garbled", size=message.byte_size)
+
+
+def _holds_ciphertext(value) -> bool:
+    if isinstance(value, Ciphertext):
+        return True
+    return isinstance(value, tuple) and any(
+        isinstance(item, Ciphertext) for item in value
+    )
+
+
+def _tamper_fields(message, rng: random.Random):
+    if not is_dataclass(message):
+        return None
+    # Damage ciphertext-bearing fields first: they are the fields whose
+    # corruption would otherwise decrypt to garbage answers.
+    candidates = sorted(
+        fields(message),
+        key=lambda f: not _holds_ciphertext(getattr(message, f.name)),
+    )
+    for f in candidates:
+        value = getattr(message, f.name)
+        damaged = _damage_value(value, rng)
+        if damaged is not None:
+            return replace(message, **{f.name: damaged})
+    return None
+
+
+def _damage_value(value, rng: random.Random):
+    """A corrupted stand-in for one field value, or None if unsupported."""
+    if isinstance(value, Ciphertext):
+        modulus = value.public_key.ciphertext_modulus(value.s)
+        flipped = value.value ^ (1 << rng.randrange(8))
+        if flipped >= modulus:
+            flipped = value.value ^ 1 if value.value ^ 1 < modulus else value.value - 1
+        return Ciphertext(value=flipped, s=value.s, public_key=value.public_key)
+    if isinstance(value, Point):
+        return Point(value.x + 1.0, value.y)
+    if isinstance(value, bool):
+        return not value
+    if isinstance(value, int):
+        return value ^ 1
+    if isinstance(value, float):
+        return value + 1.0
+    if isinstance(value, tuple) and value:
+        index = rng.randrange(len(value))
+        damaged = _damage_value(value[index], rng)
+        if damaged is None:
+            return None
+        return value[:index] + (damaged,) + value[index + 1 :]
+    if is_dataclass(value) and not isinstance(value, type):
+        return _tamper_fields(value, rng)
+    return None

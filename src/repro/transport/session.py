@@ -1,0 +1,103 @@
+"""A query session that survives an unreliable network.
+
+:class:`ResilientSession` extends :class:`~repro.core.session.QuerySession`
+with a transport: every protocol message of every query rides the
+configured channel behind the retry/backoff machinery, so the session's
+cost totals include the retransmission traffic reliability actually costs.
+
+When a group member dies mid-protocol (a scripted ``kill`` in the fault
+plan), the round aborts with :class:`~repro.errors.GroupMemberLostError`.
+With ``allow_regroup=True`` the session instead re-runs the round with the
+surviving n−1 users under a *fresh* per-round seed — fresh dummy locations
+and a fresh placement plan, so the re-run leaks nothing about the aborted
+round and the Privacy-I/II parameters (d dummies per user, ≥ δ candidate
+queries) hold exactly as they would for a group of n−1 from the start.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Sequence
+
+from repro.core.result import ProtocolResult
+from repro.core.session import _RUNNERS, QuerySession
+from repro.errors import GroupMemberLostError
+from repro.geometry.point import Point
+from repro.transport.channel import Channel, PerfectChannel
+from repro.transport.retry import RetryPolicy
+from repro.transport.transport import Transport, TransportStats
+
+#: Seed offset between regroup rounds of one query — any constant works,
+#: it only has to make the re-run's randomness independent of the abort.
+_REGROUP_SEED_STRIDE = 7919
+
+
+@dataclass
+class ResilientSession(QuerySession):
+    """A :class:`QuerySession` whose messages cross a real (faulty) channel.
+
+    Parameters beyond the base session:
+
+    channel:
+        The medium — :class:`~repro.transport.channel.PerfectChannel`
+        (default) or a seeded :class:`~repro.transport.channel
+        .FaultyChannel`.
+    policy:
+        Retry/timeout/backoff policy applied to every message.
+    allow_regroup:
+        Re-run a round with the survivors when a member dies, instead of
+        surfacing :class:`~repro.errors.GroupMemberLostError`.
+    """
+
+    channel: Channel = field(default_factory=PerfectChannel)
+    policy: RetryPolicy = field(default_factory=RetryPolicy)
+    allow_regroup: bool = False
+    regroups: int = 0
+    transport: Transport = field(init=False)
+
+    def __post_init__(self) -> None:
+        super().__post_init__()
+        self.transport = Transport(self.channel, self.policy)
+
+    @property
+    def transport_stats(self) -> TransportStats:
+        """Cumulative reliability counters across the session's queries."""
+        return self.transport.stats
+
+    def query(self, locations: Sequence[Point]) -> ProtocolResult:
+        """One group query over the channel, regrouping if allowed.
+
+        Raises a :class:`~repro.errors.TransportError` subclass when the
+        network defeats the retry budget — never a wrong answer.
+        """
+        runner = _RUNNERS[self.protocol]
+        survivors = list(locations)
+        base_seed = self.seed + self.totals.queries
+        round_number = 0
+        while True:
+            seed = base_seed + _REGROUP_SEED_STRIDE * round_number
+            try:
+                result = runner(
+                    self.lsp,
+                    survivors,
+                    self.config,
+                    seed=seed,
+                    transport=self.transport,
+                )
+            except GroupMemberLostError as lost:
+                if (
+                    not self.allow_regroup
+                    or len(survivors) <= 1
+                    or not 0 <= lost.user_index < len(survivors)
+                ):
+                    raise
+                # The dead member leaves; survivors renumber 0..n-2.  The
+                # re-run draws fresh dummies and a fresh placement plan.
+                survivors.pop(lost.user_index)
+                self.channel.revive(lost.party)
+                self.regroups += 1
+                round_number += 1
+                continue
+            self.totals.add(result)
+            self._remember(result)
+            return result

@@ -8,7 +8,6 @@ from repro.baselines.glp import run_glp
 from repro.baselines.ippf import candidate_superset, cloak_rectangle, run_ippf
 from repro.core.config import PPGNNConfig
 from repro.core.group import random_group
-from repro.core.lsp import LSPServer
 from repro.errors import ConfigurationError
 from repro.geometry.point import Point
 from repro.gnn.bruteforce import brute_force_kgnn

@@ -8,7 +8,6 @@ sanitation enabled, a prefix of it.
 import numpy as np
 import pytest
 
-from repro.core.config import PPGNNConfig
 from repro.core.group import random_group, run_ppgnn
 from repro.core.naive import naive_partition, run_naive
 from repro.core.opt import optimal_omega, paper_omega, run_ppgnn_opt
@@ -166,7 +165,10 @@ class TestOmegaChoice:
 
         for delta_prime in (1, 2, 7, 8, 50, 100, 225):
             best = optimal_omega(delta_prime)
-            cost = lambda w: 3 * w + 2 * math.ceil(delta_prime / w)
+
+            def cost(w):
+                return 3 * w + 2 * math.ceil(delta_prime / w)
+
             assert all(cost(best) <= cost(w) for w in range(1, delta_prime + 1))
 
     def test_validation(self):

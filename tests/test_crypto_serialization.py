@@ -1,6 +1,7 @@
 """Tests for key and ciphertext serialization."""
 
 import random
+import struct
 
 import pytest
 from hypothesis import given, settings
@@ -93,6 +94,64 @@ class TestCiphertext:
         c = pk.encrypt(m, rng=random.Random(m))
         restored = deserialize_ciphertext(serialize_ciphertext(c), pk)
         assert sk.decrypt(restored) == m
+
+
+class TestHardenedDeserializers:
+    """Malformed buffers must die with CryptoError, never parse quietly."""
+
+    def test_trailing_bytes_rejected_everywhere(self, kp):
+        sk, pk = kp
+        c = pk.encrypt(7, rng=random.Random(6))
+        for data, decode in (
+            (serialize_public_key(pk), deserialize_public_key),
+            (serialize_private_key(sk), deserialize_private_key),
+            (serialize_ciphertext(c), lambda b: deserialize_ciphertext(b, pk)),
+        ):
+            with pytest.raises(CryptoError):
+                decode(data + b"\x00")
+
+    def test_unknown_version_rejected_everywhere(self, kp):
+        sk, pk = kp
+        c = pk.encrypt(7, rng=random.Random(7))
+        for data, decode in (
+            (serialize_public_key(pk), deserialize_public_key),
+            (serialize_private_key(sk), deserialize_private_key),
+            (serialize_ciphertext(c), lambda b: deserialize_ciphertext(b, pk)),
+        ):
+            bumped = bytearray(data)
+            bumped[5] = 2
+            with pytest.raises(CryptoError, match="version"):
+                decode(bytes(bumped))
+
+    def test_non_canonical_integer_rejected(self, kp):
+        _, pk = kp
+        data = bytearray(serialize_public_key(pk))
+        # Grow the length prefix by one and left-pad the body with 0x00:
+        # same integer value, different bytes — must be rejected.
+        (length,) = struct.unpack_from(">I", data, 6)
+        struct.pack_into(">I", data, 6, length + 1)
+        data[10:10] = b"\x00"
+        with pytest.raises(CryptoError, match="non-canonical"):
+            deserialize_public_key(bytes(data))
+
+    def test_zero_length_integer_rejected(self):
+        data = b"RPPK" + struct.pack(">H", 1) + struct.pack(">I", 0)
+        with pytest.raises(CryptoError, match="zero-length"):
+            deserialize_public_key(data)
+
+    def test_ciphertext_level_zero_rejected(self, kp):
+        _, pk = kp
+        c = pk.encrypt(7, rng=random.Random(8))
+        data = bytearray(serialize_ciphertext(c))
+        data[6] = 0  # the level byte
+        with pytest.raises(CryptoError, match="level"):
+            deserialize_ciphertext(bytes(data), pk)
+
+    def test_truncated_ciphertext_level(self, kp):
+        _, pk = kp
+        data = b"RPCT" + struct.pack(">H", 1)
+        with pytest.raises(CryptoError):
+            deserialize_ciphertext(data, pk)
 
 
 class TestCRTDecryption:

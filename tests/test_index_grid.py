@@ -5,7 +5,6 @@ import pytest
 from repro.errors import ConfigurationError
 from repro.geometry.point import Point
 from repro.geometry.rect import Rect
-from repro.geometry.space import LocationSpace
 from repro.index.bruteforce import BruteForceIndex
 from repro.index.grid import GridIndex
 

@@ -118,3 +118,38 @@ class TestQuerySession:
         assert closed.queries == 1
         assert session.totals.queries == 0
         assert session.history == []
+
+    def test_history_capped_but_totals_exact(self, lsp, fast_config):
+        session = QuerySession(lsp, fast_config, seed=50, max_history=2)
+        rng = np.random.default_rng(5)
+        answers = 0
+        for _ in range(5):
+            answers += len(session.query(random_group(2, lsp.space, rng)).answers)
+        # Only the newest two results are pinned...
+        assert len(session.history) == 2
+        # ...but accounting never forgets a query.
+        assert session.totals.queries == 5
+        assert session.totals.answers_returned == answers
+
+    def test_history_keeps_newest(self, lsp, fast_config):
+        session = QuerySession(lsp, fast_config, seed=60, max_history=3)
+        rng = np.random.default_rng(6)
+        results = [session.query(random_group(2, lsp.space, rng)) for _ in range(5)]
+        assert session.history == results[-3:]
+
+    def test_zero_history(self, lsp, fast_config):
+        session = QuerySession(lsp, fast_config, seed=70, max_history=0)
+        session.query(random_group(2, lsp.space, np.random.default_rng(7)))
+        assert session.history == []
+        assert session.totals.queries == 1
+
+    def test_unbounded_history_opt_in(self, lsp, fast_config):
+        session = QuerySession(lsp, fast_config, seed=80, max_history=None)
+        rng = np.random.default_rng(8)
+        for _ in range(4):
+            session.query(random_group(2, lsp.space, rng))
+        assert len(session.history) == 4
+
+    def test_negative_history_rejected(self, lsp, fast_config):
+        with pytest.raises(ConfigurationError):
+            QuerySession(lsp, fast_config, max_history=-1)

@@ -3,7 +3,6 @@
 import random
 
 import numpy as np
-import pytest
 
 from repro.core.common import group_keypair
 from repro.core.group import random_group, run_ppgnn

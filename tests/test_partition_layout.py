@@ -9,7 +9,7 @@ from hypothesis import strategies as st
 
 from repro.errors import ConfigurationError
 from repro.partition.layout import GroupLayout
-from repro.partition.solver import PartitionParameters, solve_partition
+from repro.partition.solver import solve_partition
 
 
 @pytest.fixture()

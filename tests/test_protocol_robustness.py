@@ -11,7 +11,6 @@ import random
 import pytest
 
 from repro.core.common import group_keypair
-from repro.core.lsp import LSPServer
 from repro.crypto.homomorphic import encrypt_indicator
 from repro.errors import ProtocolError
 from repro.geometry.point import Point

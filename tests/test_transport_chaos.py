@@ -1,0 +1,194 @@
+"""Chaos tests: full protocol rounds over deliberately broken networks.
+
+The acceptance bar: for every fault mix up to 20% per link, each protocol
+either returns the byte-identical answer set it returns over a perfect
+channel with the same seeds, or dies with a typed
+:class:`~repro.errors.TransportError` subclass — never a wrong answer,
+never a stray exception — and the retry traffic shows up in the report.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.group import random_group, run_ppgnn
+from repro.core.naive import run_naive
+from repro.core.opt import run_ppgnn_opt
+from repro.errors import GroupMemberLostError, TransportError
+from repro.transport.channel import FaultyChannel, PerfectChannel
+from repro.transport.faults import FaultPlan, LinkFaults
+from repro.transport.retry import RetryPolicy
+from repro.transport.session import ResilientSession
+from repro.transport.transport import NETWORK, Transport
+
+RUNNERS = {
+    "ppgnn": run_ppgnn,
+    "ppgnn-opt": run_ppgnn_opt,
+    "naive": run_naive,
+}
+
+#: Generous attempt budget: at 20% loss per copy the chance of ten straight
+#: failures on one message is ~1e-7, so the sweep is effectively abort-free
+#: while still exercising the retry machinery constantly.
+CHAOS_POLICY = RetryPolicy(max_attempts=10)
+
+
+def perfect_run(lsp, runner, group, config, seed):
+    lsp.reset_rng(1234)
+    return runner(lsp, group, config, seed=seed, transport=Transport())
+
+
+def faulty_run(lsp, runner, group, config, seed, plan):
+    lsp.reset_rng(1234)
+    transport = Transport(FaultyChannel(plan), CHAOS_POLICY)
+    result = runner(lsp, group, config, seed=seed, transport=transport)
+    return result, transport
+
+
+class TestChaosSweep:
+    @pytest.mark.parametrize("protocol", sorted(RUNNERS))
+    @pytest.mark.parametrize("rate", [0.05, 0.1, 0.2])
+    def test_answers_survive_uniform_chaos(self, lsp, fast_config, protocol, rate):
+        runner = RUNNERS[protocol]
+        group = random_group(4, lsp.space, np.random.default_rng(31))
+        baseline = perfect_run(lsp, runner, group, fast_config, seed=5)
+        for fault_seed in range(3):
+            plan = FaultPlan.uniform(rate, seed=fault_seed)
+            try:
+                result, transport = faulty_run(
+                    lsp, runner, group, fast_config, 5, plan
+                )
+            except TransportError:
+                continue  # a typed abort is an allowed outcome
+            assert result.answer_ids == baseline.answer_ids
+            assert result.query_index == baseline.query_index
+            if transport.stats.retransmissions:
+                # Reliability is visible in the communication numbers.
+                assert (
+                    result.report.total_comm_bytes
+                    > baseline.report.total_comm_bytes
+                )
+
+    @pytest.mark.parametrize("fault", ["drop", "duplicate", "reorder", "corrupt"])
+    def test_each_fault_kind_alone(self, lsp, fast_config, fault):
+        group = random_group(3, lsp.space, np.random.default_rng(7))
+        baseline = perfect_run(lsp, run_ppgnn, group, fast_config, seed=2)
+        plan = FaultPlan(default=LinkFaults(**{fault: 0.2}), seed=9)
+        result, transport = faulty_run(lsp, run_ppgnn, group, fast_config, 2, plan)
+        assert result.answer_ids == baseline.answer_ids
+        if fault == "corrupt":
+            assert transport.stats.corrupt_rejected > 0
+            assert transport.stats.nacks_sent == transport.stats.corrupt_rejected
+
+    def test_latency_accrues_to_network_clock(self, lsp, fast_config):
+        group = random_group(3, lsp.space, np.random.default_rng(8))
+        plan = FaultPlan(
+            default=LinkFaults(latency_seconds=0.01, latency_jitter_seconds=0.005),
+            seed=1,
+        )
+        result, transport = faulty_run(lsp, run_ppgnn, group, fast_config, 3, plan)
+        network = result.report.time_by_role[NETWORK]
+        assert network == pytest.approx(transport.stats.latency_seconds)
+        # Simulated waiting never pollutes the paper's CPU cost series.
+        assert result.report.user_cost_seconds < network + 10
+
+    def test_fault_sequence_is_reproducible(self, lsp, fast_config):
+        group = random_group(3, lsp.space, np.random.default_rng(9))
+        plan = FaultPlan.uniform(0.15, seed=77)
+        a, ta = faulty_run(lsp, run_ppgnn, group, fast_config, 4, plan)
+        b, tb = faulty_run(lsp, run_ppgnn, group, fast_config, 4, plan)
+        assert a.answer_ids == b.answer_ids
+        assert ta.stats == tb.stats
+        assert a.report.total_comm_bytes == b.report.total_comm_bytes
+
+
+class TestResilientSession:
+    def test_perfect_channel_matches_plain_session(self, lsp, fast_config):
+        from repro.core.session import QuerySession
+
+        group = random_group(3, lsp.space, np.random.default_rng(10))
+        lsp.reset_rng(55)
+        plain = QuerySession(lsp, fast_config, seed=6).query(group)
+        lsp.reset_rng(55)
+        resilient = ResilientSession(
+            lsp, fast_config, seed=6, channel=PerfectChannel()
+        ).query(group)
+        assert resilient.answer_ids == plain.answer_ids
+
+    def test_member_death_aborts_cleanly(self, lsp, fast_config):
+        group = random_group(4, lsp.space, np.random.default_rng(11))
+        session = ResilientSession(
+            lsp,
+            fast_config,
+            seed=7,
+            channel=FaultyChannel(FaultPlan(kill={"user:2": 1})),
+            policy=RetryPolicy(max_attempts=3),
+        )
+        with pytest.raises(GroupMemberLostError) as excinfo:
+            session.query(group)
+        assert excinfo.value.user_index == 2
+        assert session.totals.queries == 0  # no half-counted query
+
+    def test_regroup_recovers_with_survivors(self, lsp, fast_config):
+        group = random_group(4, lsp.space, np.random.default_rng(12))
+        session = ResilientSession(
+            lsp,
+            fast_config,
+            seed=8,
+            channel=FaultyChannel(FaultPlan(kill={"user:2": 1})),
+            policy=RetryPolicy(max_attempts=3),
+            allow_regroup=True,
+        )
+        result = session.query(group)
+        assert session.regroups == 1
+        assert len(result.answers) >= 1
+        assert session.totals.queries == 1
+
+    def test_regroup_answer_matches_survivor_group(self, lsp, fast_config):
+        """The re-run is exactly a fresh n-1 round: same answer as running
+        the survivors directly with the regroup seed."""
+        from repro.transport.session import _REGROUP_SEED_STRIDE
+
+        cfg = fast_config.without_sanitation()
+        group = random_group(4, lsp.space, np.random.default_rng(13))
+        session = ResilientSession(
+            lsp,
+            cfg,
+            seed=9,
+            channel=FaultyChannel(FaultPlan(kill={"user:1": 1})),
+            policy=RetryPolicy(max_attempts=3),
+            allow_regroup=True,
+        )
+        result = session.query(group)
+        survivors = group[:1] + group[2:]
+        direct = run_ppgnn(lsp, survivors, cfg, seed=9 + _REGROUP_SEED_STRIDE)
+        assert result.answer_ids == direct.answer_ids
+
+    def test_session_totals_include_retry_traffic(self, lsp, fast_config):
+        group = random_group(3, lsp.space, np.random.default_rng(14))
+        lsp.reset_rng(77)
+        clean = ResilientSession(lsp, fast_config, seed=11)
+        clean.query(group)
+        lsp.reset_rng(77)
+        noisy = ResilientSession(
+            lsp,
+            fast_config,
+            seed=11,
+            channel=FaultyChannel(FaultPlan.uniform(0.2, seed=2)),
+            policy=CHAOS_POLICY,
+        )
+        noisy.query(group)
+        assert noisy.transport_stats.retransmissions > 0
+        assert noisy.totals.comm_bytes > clean.totals.comm_bytes
+
+    def test_single_survivor_cannot_regroup(self, lsp, fast_config):
+        group = random_group(1, lsp.space, np.random.default_rng(15))
+        session = ResilientSession(
+            lsp,
+            fast_config.for_single_user(),
+            seed=12,
+            channel=FaultyChannel(FaultPlan(kill={"user:0": 0})),
+            policy=RetryPolicy(max_attempts=2),
+            allow_regroup=True,
+        )
+        with pytest.raises(GroupMemberLostError):
+            session.query(group)
