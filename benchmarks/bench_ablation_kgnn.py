@@ -29,7 +29,7 @@ def _group(space, spread: float, rng) -> list[Point]:
     cx, cy = rng.uniform(spread / 2, 1 - spread / 2, 2)
     xs = np.clip(rng.uniform(cx - spread / 2, cx + spread / 2, N), 0, 1)
     ys = np.clip(rng.uniform(cy - spread / 2, cy + spread / 2, N), 0, 1)
-    return [Point(float(x), float(y)) for x, y in zip(xs, ys)]
+    return [Point(float(x), float(y)) for x, y in zip(xs, ys, strict=True)]
 
 
 def test_ablation_kgnn_algorithms(lsp, settings, recorder, benchmark):

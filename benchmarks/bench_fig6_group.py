@@ -51,7 +51,9 @@ def _sweep(lsp, settings, xs, config_for, n_for):
         n = n_for(x)
         for name, runner in PROTOCOLS.items():
             measured = measure_protocol(
-                lambda seed: runner(lsp, _group(lsp, n, seed), cfg, seed=seed),
+                lambda seed, runner=runner, cfg=cfg, n=n: runner(
+                    lsp, _group(lsp, n, seed), cfg, seed=seed
+                ),
                 repeats=settings.repeats,
                 base_seed=settings.seed,
             )
@@ -62,7 +64,7 @@ def _sweep(lsp, settings, xs, config_for, n_for):
 
 
 def _record(recorder, figure, labels, x_label, xs, rows):
-    for (metric, _), label in zip(METRICS, labels):
+    for (metric, _), label in zip(METRICS, labels, strict=True):
         recorder.record(figure, label, x_label, xs, rows[metric])
 
 

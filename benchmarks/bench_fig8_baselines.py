@@ -53,7 +53,9 @@ def _sweep(lsp, settings, config_factory, xs, config_for, n_for):
         runners = make(cfg)
         for name in names:
             measured = measure_protocol(
-                lambda seed: runners[name](lsp, _group(lsp, n, seed), seed),
+                lambda seed, name=name, n=n: runners[name](
+                    lsp, _group(lsp, n, seed), seed
+                ),
                 repeats=settings.repeats,
                 base_seed=settings.seed,
             )
@@ -84,6 +86,7 @@ def test_fig8_vary_k(lsp, settings, config_factory, recorder, benchmark):
             "Fig 8b: user cost vs k (n=8)",
             "Fig 8c: LSP cost vs k (n=8)",
         ),
+        strict=True,
     ):
         recorder.record("fig8", title, "k", K_VALUES, rows[metric])
     recorder.note(
@@ -113,6 +116,7 @@ def test_fig8_vary_n(lsp, settings, config_factory, recorder, benchmark):
             "Fig 8e: user cost vs n (k=8)",
             "Fig 8f: LSP cost vs n (k=8)",
         ),
+        strict=True,
     ):
         recorder.record("fig8", title, "n", N_VALUES, rows[metric])
     recorder.note(

@@ -39,16 +39,22 @@ from repro.core import (
     run_single_user_opt,
 )
 from repro.errors import (
+    CheckpointError,
     ConfigurationError,
     CryptoError,
+    DeadlineExceededError,
     EncodingError,
     GroupMemberLostError,
+    GuardError,
+    InboundValidationError,
     InfeasibleError,
     ProtocolError,
+    ProtocolStateError,
     ReproError,
     RetryExhaustedError,
     TransportError,
 )
+from repro.guard import ProtocolGuard, restore_session
 from repro.transport.channel import FaultyChannel, PerfectChannel
 from repro.transport.faults import FaultPlan, LinkFaults
 from repro.transport.retry import RetryPolicy
@@ -75,6 +81,11 @@ __all__ = [
     "CryptoError",
     "EncodingError",
     "ProtocolError",
+    "GuardError",
+    "ProtocolStateError",
+    "InboundValidationError",
+    "DeadlineExceededError",
+    "CheckpointError",
     "InfeasibleError",
     "TransportError",
     "RetryExhaustedError",
@@ -86,5 +97,7 @@ __all__ = [
     "FaultPlan",
     "LinkFaults",
     "RetryPolicy",
+    "ProtocolGuard",
+    "restore_session",
     "__version__",
 ]

@@ -1,10 +1,34 @@
 """Attack implementations the protocol defends against.
 
-Currently the inequality attack of Section 5.1: n - 1 colluding users
-exploit the ranking of the returned POIs to carve out the feasible region
-of the remaining user's location.
+- The inequality attack of Section 5.1: n - 1 colluding users exploit the
+  ranking of the returned POIs to carve out the feasible region of the
+  remaining user's location.
+- Scripted malicious parties (:mod:`repro.attacks.malicious`): a cheating
+  LSP and cheating group members whose deviations the :mod:`repro.guard`
+  layer must detect or prove harmless.
 """
 
 from repro.attacks.inequality import AttackResult, inequality_attack
+from repro.attacks.malicious import (
+    LSP_DEVIATIONS,
+    CheatingLSP,
+    MaliciousChannel,
+    corrupt_position,
+    duplicate_user_id,
+    nan_location,
+    outside_location,
+    short_set,
+)
 
-__all__ = ["AttackResult", "inequality_attack"]
+__all__ = [
+    "AttackResult",
+    "CheatingLSP",
+    "LSP_DEVIATIONS",
+    "MaliciousChannel",
+    "corrupt_position",
+    "duplicate_user_id",
+    "inequality_attack",
+    "nan_location",
+    "outside_location",
+    "short_set",
+]

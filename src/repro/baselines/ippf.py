@@ -104,7 +104,7 @@ def candidate_superset(
     else:
         threshold = float(np.partition(upper, k - 1)[k - 1])
     keep = lower <= threshold
-    return [item for (_, item), flag in zip(entries, keep) if flag]
+    return [item for (_, item), flag in zip(entries, keep, strict=True) if flag]
 
 
 def run_ippf(
@@ -165,7 +165,7 @@ def run_ippf(
         if lsp.aggregate.decomposable:
             assert partials is not None
             ranked = sorted(
-                zip(partials.tolist(), (p.location for p in candidates), candidates),
+                zip(partials.tolist(), (p.location for p in candidates), candidates, strict=True),
                 key=lambda t: (t[0], t[1]),
             )
             answers = tuple(p for _, _, p in ranked[: config.k])

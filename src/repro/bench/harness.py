@@ -25,6 +25,7 @@ from __future__ import annotations
 
 import os
 import statistics
+import warnings
 from dataclasses import dataclass, field
 from typing import Callable, Iterable, Sequence
 
@@ -67,13 +68,38 @@ class MeasuredCosts:
     @property
     def mean_answer_length(self) -> float:
         """Average POIs returned per answer (the Figure 7 metric)."""
-        return statistics.mean(self.answer_lengths) if self.answer_lengths else 0.0
+        if not self.answer_lengths:
+            warnings.warn(
+                "mean_answer_length of a point with no recorded answers; "
+                "reporting 0.0",
+                RuntimeWarning,
+                stacklevel=2,
+            )
+            return 0.0
+        return statistics.mean(self.answer_lengths)
 
 
 def average_runs(
     reports: Sequence[CostReport], answer_lengths: Sequence[int]
 ) -> MeasuredCosts:
-    """Collapse repeated runs into their means."""
+    """Collapse repeated runs into their means.
+
+    An empty ``reports`` sequence (every run of a sweep point failed or
+    was skipped) yields an all-zero point with a ``RuntimeWarning``
+    instead of a ``StatisticsError`` killing the whole sweep.
+    """
+    if not reports:
+        warnings.warn(
+            "average_runs over zero runs; reporting an all-zero point",
+            RuntimeWarning,
+            stacklevel=2,
+        )
+        return MeasuredCosts(
+            comm_bytes=0.0,
+            user_seconds=0.0,
+            lsp_seconds=0.0,
+            answer_lengths=list(answer_lengths),
+        )
     return MeasuredCosts(
         comm_bytes=statistics.mean(r.total_comm_bytes for r in reports),
         user_seconds=statistics.mean(r.user_cost_seconds for r in reports),
@@ -147,7 +173,7 @@ def print_series_table(
     print()
     print(f"=== {title} ===")
     header = x_label.ljust(width) + " | " + " | ".join(
-        str(x).rjust(w) for x, w in zip(xs, col_widths)
+        str(x).rjust(w) for x, w in zip(xs, col_widths, strict=True)
     )
     print(header)
     print("-" * len(header))
@@ -155,5 +181,5 @@ def print_series_table(
         print(
             label.ljust(width)
             + " | "
-            + " | ".join(v.rjust(w) for v, w in zip(values, col_widths))
+            + " | ".join(v.rjust(w) for v, w in zip(values, col_widths, strict=True))
         )

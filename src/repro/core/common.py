@@ -77,8 +77,14 @@ def decrypt_answer(
     encrypted: EncryptedAnswer,
     ledger: CostLedger,
     nested: bool = False,
+    guard_round=None,
 ) -> list[DecodedAnswer]:
-    """Coordinator-side answer decryption + decoding (charged to its clock)."""
+    """Coordinator-side answer decryption + decoding (charged to its clock).
+
+    ``guard_round`` (a :class:`~repro.guard.guard.RoundGuard`) range-checks
+    the decrypted plaintexts and attributes decode failures to the LSP;
+    None keeps the trusting decode path.
+    """
     with ledger.clock(COORDINATOR):
         counter = ledger.counter(COORDINATOR)
         if nested:
@@ -89,4 +95,6 @@ def decrypt_answer(
         else:
             integers = [keypair.secret_key.decrypt(c) for c in encrypted.ciphertexts]
             counter.decryptions += len(encrypted.ciphertexts)
+        if guard_round is not None:
+            return guard_round.decode_plaintexts(codec, integers)
         return codec.decode(integers)

@@ -37,6 +37,7 @@ from repro.encoding.answers import AnswerCodec
 from repro.errors import ConfigurationError
 from repro.geometry.point import Point
 from repro.geometry.space import LocationSpace
+from repro.guard.guard import ProtocolGuard, begin_round
 from repro.partition.layout import GroupLayout
 from repro.partition.solver import solve_partition
 from repro.protocol.messages import (
@@ -66,6 +67,7 @@ def run_ppgnn(
     dummy_generator=None,
     nonce_pool=None,
     transport: Transport | None = None,
+    guard: ProtocolGuard | None = None,
 ) -> ProtocolResult:
     """Execute one full PPGNN round and return the answer plus cost report.
 
@@ -77,6 +79,9 @@ def run_ppgnn(
     covers only the online phase.  ``transport`` routes every message
     through a :mod:`repro.transport` channel (envelopes, checksums,
     retries); None keeps the historical perfect in-memory network.
+    ``guard`` arms the hostile-input defenses of :mod:`repro.guard`
+    (state machines, inbound validation, round deadlines); None keeps the
+    historical trusting behavior.
     """
     n = len(locations)
     if n < 1:
@@ -87,6 +92,15 @@ def run_ppgnn(
     params = solve_partition(n, config.d, config.delta)  # offline precomputation
     layout = GroupLayout(params)
     codec = AnswerCodec(config.keysize, config.k, lsp.space)
+    rg = begin_round(
+        guard,
+        layout=layout,
+        public_key=keypair.public_key,
+        space=lsp.space,
+        ledger=ledger,
+        k=config.k,
+        answer_m=codec.m,
+    )
 
     # --- Algorithm 1: coordinator side -----------------------------------
     with ledger.clock(COORDINATOR):
@@ -95,7 +109,11 @@ def run_ppgnn(
             from repro.crypto.noncepool import pooled_indicator
 
             indicator = pooled_indicator(
-                nonce_pool, layout.delta_prime, plan.query_index, rng=rng
+                nonce_pool,
+                layout.delta_prime,
+                plan.query_index,
+                rng=rng,
+                public_key=keypair.public_key,
             )
             ledger.counter(COORDINATOR).encryptions += layout.delta_prime
         else:
@@ -114,13 +132,16 @@ def run_ppgnn(
             indicator=tuple(indicator),
             theta0=config.theta0 if config.sanitize else None,
         )
+    rg.planned()
     positions = {}
     for subgroup, position in enumerate(plan.absolute_positions):
         message = PositionAssignment(position)
         for user in layout.users_of_subgroup(subgroup):
             delivered = send(transport, ledger, COORDINATOR, f"user:{user}", message)
+            rg.position_delivered(user, delivered)
             positions[user] = delivered.position
     request = send(transport, ledger, COORDINATOR, LSP, request)
+    rg.request_delivered(request)
 
     # --- Algorithm 1: every user uploads its location set ----------------
     uploads = []
@@ -130,17 +151,23 @@ def run_ppgnn(
                 real, positions[i], config.d, lsp.space, nprng, dummy_generator
             )
             upload = LocationSetUpload(i, location_set)
-        uploads.append(send(transport, ledger, f"user:{i}", LSP, upload))
+        delivered = send(transport, ledger, f"user:{i}", LSP, upload)
+        rg.upload_delivered(delivered)
+        uploads.append(delivered)
 
     # --- Algorithm 2: LSP (clocked inside the handler) -------------------
+    rg.uploads_complete()
     encrypted = lsp.answer_group_query(request, uploads, ledger)
     encrypted = send(transport, ledger, LSP, COORDINATOR, encrypted)
+    rg.answer_delivered(encrypted)
 
     # --- Answer decryption and broadcast ----------------------------------
-    answers = decrypt_answer(keypair, codec, encrypted, ledger)
+    answers = decrypt_answer(keypair, codec, encrypted, ledger, guard_round=rg)
     broadcast = PlaintextAnswerBroadcast(tuple(answers))
     for user in range(1, n):
-        send(transport, ledger, COORDINATOR, f"user:{user}", broadcast)
+        delivered = send(transport, ledger, COORDINATOR, f"user:{user}", broadcast)
+        rg.broadcast_delivered(user, delivered)
+    rg.finished()
 
     return ProtocolResult(
         protocol="ppgnn" if config.sanitize else "ppgnn-nas",

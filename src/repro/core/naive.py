@@ -28,6 +28,7 @@ from repro.crypto.homomorphic import encrypt_indicator
 from repro.encoding.answers import AnswerCodec
 from repro.errors import ConfigurationError
 from repro.geometry.point import Point
+from repro.guard.guard import ProtocolGuard, begin_round
 from repro.partition.layout import GroupLayout
 from repro.partition.solver import PartitionParameters
 from repro.protocol.messages import (
@@ -56,11 +57,14 @@ def run_naive(
     seed: int = 0,
     dummy_generator=None,
     transport: Transport | None = None,
+    guard: ProtocolGuard | None = None,
 ) -> ProtocolResult:
     """Execute one Naive-solution round.
 
     ``transport`` routes every message through a :mod:`repro.transport`
     channel; None keeps the historical perfect in-memory network.
+    ``guard`` arms the hostile-input defenses of :mod:`repro.guard`; None
+    keeps the historical trusting behavior.
     """
     n = len(locations)
     if n < 1:
@@ -71,6 +75,15 @@ def run_naive(
     params = naive_partition(n, config.delta)
     layout = GroupLayout(params)
     codec = AnswerCodec(config.keysize, config.k, lsp.space)
+    rg = begin_round(
+        guard,
+        layout=layout,
+        public_key=keypair.public_key,
+        space=lsp.space,
+        ledger=ledger,
+        k=config.k,
+        answer_m=codec.m,
+    )
 
     with ledger.clock(COORDINATOR):
         plan = layout.plan_placement(rng)  # uniform over the delta slots
@@ -89,13 +102,16 @@ def run_naive(
             indicator=tuple(indicator),
             theta0=config.theta0 if config.sanitize else None,
         )
+    rg.planned()
     position = plan.absolute_positions[0]
     message = PositionAssignment(position)
     positions = {}
     for user in range(n):
         delivered = send(transport, ledger, COORDINATOR, f"user:{user}", message)
+        rg.position_delivered(user, delivered)
         positions[user] = delivered.position
     request = send(transport, ledger, COORDINATOR, LSP, request)
+    rg.request_delivered(request)
 
     uploads = []
     for i, real in enumerate(locations):
@@ -105,15 +121,21 @@ def run_naive(
                 real, positions[i], config.delta, lsp.space, nprng, dummy_generator
             )
             upload = LocationSetUpload(i, location_set)
-        uploads.append(send(transport, ledger, f"user:{i}", LSP, upload))
+        delivered = send(transport, ledger, f"user:{i}", LSP, upload)
+        rg.upload_delivered(delivered)
+        uploads.append(delivered)
 
+    rg.uploads_complete()
     encrypted = lsp.answer_group_query(request, uploads, ledger)
     encrypted = send(transport, ledger, LSP, COORDINATOR, encrypted)
+    rg.answer_delivered(encrypted)
 
-    answers = decrypt_answer(keypair, codec, encrypted, ledger)
+    answers = decrypt_answer(keypair, codec, encrypted, ledger, guard_round=rg)
     broadcast = PlaintextAnswerBroadcast(tuple(answers))
     for user in range(1, n):
-        send(transport, ledger, COORDINATOR, f"user:{user}", broadcast)
+        delivered = send(transport, ledger, COORDINATOR, f"user:{user}", broadcast)
+        rg.broadcast_delivered(user, delivered)
+    rg.finished()
 
     return ProtocolResult(
         protocol="naive",

@@ -37,6 +37,7 @@ from repro.crypto.homomorphic import encrypt_indicator
 from repro.encoding.answers import AnswerCodec
 from repro.errors import ConfigurationError
 from repro.geometry.point import Point
+from repro.guard.guard import ProtocolGuard, begin_round
 from repro.partition.layout import GroupLayout
 from repro.partition.solver import solve_partition
 from repro.protocol.messages import (
@@ -85,13 +86,16 @@ def run_ppgnn_opt(
     omega: int | None = None,
     dummy_generator=None,
     transport: Transport | None = None,
+    guard: ProtocolGuard | None = None,
 ) -> ProtocolResult:
     """Execute one PPGNN-OPT round (group sizes n >= 1).
 
     ``omega`` overrides the block count (the omega-sweep ablation uses it);
     by default the exact integer optimum is chosen.  ``transport`` routes
     every message through a :mod:`repro.transport` channel; None keeps the
-    historical perfect in-memory network.
+    historical perfect in-memory network.  ``guard`` arms the
+    hostile-input defenses of :mod:`repro.guard`; None keeps the
+    historical trusting behavior.
     """
     n = len(locations)
     if n < 1:
@@ -108,6 +112,18 @@ def run_ppgnn_opt(
     if not 1 <= block_count <= delta_prime:
         raise ConfigurationError(f"omega must be in [1, {delta_prime}]")
     block_width = math.ceil(delta_prime / block_count)
+    rg = begin_round(
+        guard,
+        layout=layout,
+        public_key=keypair.public_key,
+        space=lsp.space,
+        ledger=ledger,
+        k=config.k,
+        answer_m=codec.m,
+        answer_s=2,
+        inner_length=block_width,
+        outer_length=block_count,
+    )
 
     # --- Algorithm 1 with the two small indicators -----------------------
     with ledger.clock(COORDINATOR):
@@ -129,13 +145,16 @@ def run_ppgnn_opt(
             outer_indicator=tuple(outer),
             theta0=config.theta0 if config.sanitize else None,
         )
+    rg.planned()
     positions = {}
     for subgroup, position in enumerate(plan.absolute_positions):
         message = PositionAssignment(position)
         for user in layout.users_of_subgroup(subgroup):
             delivered = send(transport, ledger, COORDINATOR, f"user:{user}", message)
+            rg.position_delivered(user, delivered)
             positions[user] = delivered.position
     request = send(transport, ledger, COORDINATOR, LSP, request)
+    rg.request_delivered(request)
 
     uploads = []
     for i, real in enumerate(locations):
@@ -144,15 +163,21 @@ def run_ppgnn_opt(
                 real, positions[i], config.d, lsp.space, nprng, dummy_generator
             )
             upload = LocationSetUpload(i, location_set)
-        uploads.append(send(transport, ledger, f"user:{i}", LSP, upload))
+        delivered = send(transport, ledger, f"user:{i}", LSP, upload)
+        rg.upload_delivered(delivered)
+        uploads.append(delivered)
 
+    rg.uploads_complete()
     encrypted = lsp.answer_group_query_opt(request, uploads, ledger)
     encrypted = send(transport, ledger, LSP, COORDINATOR, encrypted)
+    rg.answer_delivered(encrypted)
 
-    answers = decrypt_answer(keypair, codec, encrypted, ledger, nested=True)
+    answers = decrypt_answer(keypair, codec, encrypted, ledger, nested=True, guard_round=rg)
     broadcast = PlaintextAnswerBroadcast(tuple(answers))
     for user in range(1, n):
-        send(transport, ledger, COORDINATOR, f"user:{user}", broadcast)
+        delivered = send(transport, ledger, COORDINATOR, f"user:{user}", broadcast)
+        rg.broadcast_delivered(user, delivered)
+    rg.finished()
 
     return ProtocolResult(
         protocol="ppgnn-opt",

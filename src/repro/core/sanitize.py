@@ -265,7 +265,7 @@ class AnswerSanitizer:
             return SanitationOutcome(tuple(pois), tuple([k] * max(n, 1)))
         if len(xs) != self.plan.n_samples:
             raise ConfigurationError("sample arrays must match the plan size")
-        samples = [Point(float(x), float(y)) for x, y in zip(xs, ys)]
+        samples = [Point(float(x), float(y)) for x, y in zip(xs, ys, strict=True)]
         safe_lengths = []
         for target in range(n):
             known = [loc for i, loc in enumerate(candidate) if i != target]

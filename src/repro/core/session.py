@@ -21,6 +21,7 @@ from repro.core.opt import run_ppgnn_opt
 from repro.core.result import ProtocolResult
 from repro.errors import ConfigurationError
 from repro.geometry.point import Point
+from repro.guard.guard import ProtocolGuard
 
 _RUNNERS: dict[str, Callable] = {
     "ppgnn": run_ppgnn,
@@ -78,6 +79,10 @@ class QuerySession:
         bound; only the newest ``max_history`` results are kept, while
         ``totals`` stays exact over *all* queries.  ``None`` disables the
         cap.
+    guard:
+        A :class:`~repro.guard.guard.ProtocolGuard` arming the
+        hostile-input defenses for every query; None (default) keeps the
+        historical trusting behavior.
     """
 
     lsp: LSPServer
@@ -87,6 +92,7 @@ class QuerySession:
     totals: SessionTotals = field(default_factory=SessionTotals)
     history: list[ProtocolResult] = field(default_factory=list)
     max_history: int | None = 256
+    guard: ProtocolGuard | None = None
 
     def __post_init__(self) -> None:
         if self.protocol not in _RUNNERS:
@@ -110,7 +116,11 @@ class QuerySession:
         """Run one group query and fold its costs into the session totals."""
         runner = _RUNNERS[self.protocol]
         result = runner(
-            self.lsp, locations, self.config, seed=self.seed + self.totals.queries
+            self.lsp,
+            locations,
+            self.config,
+            seed=self.seed + self.totals.queries,
+            guard=self.guard,
         )
         self.totals.add(result)
         self._remember(result)
@@ -122,3 +132,29 @@ class QuerySession:
         self.totals = SessionTotals()
         self.history = []
         return closed
+
+    # ----------------------------------------------------------- durability
+
+    def checkpoint(self) -> bytes:
+        """Freeze the session's durable state (crash-safe resume point).
+
+        Captures protocol, seed, configuration, and the exact running
+        totals — not the result history — via
+        :func:`repro.guard.checkpoint.checkpoint_session`.
+        """
+        from repro.guard.checkpoint import checkpoint_session
+
+        return checkpoint_session(self)
+
+    @classmethod
+    def restore(cls, data: bytes, lsp: LSPServer, **session_kwargs) -> "QuerySession":
+        """Rebuild a session from :meth:`checkpoint` bytes.
+
+        The restored session's next query uses ``seed + totals.queries`` —
+        exactly the seed the checkpointed session would have used next, so
+        finishing the remaining queries yields totals equal to an
+        uninterrupted run.
+        """
+        from repro.guard.checkpoint import restore_session
+
+        return restore_session(data, lsp, session_cls=cls, **session_kwargs)

@@ -96,7 +96,7 @@ def hom_dot(
     mod = pk.ciphertext_modulus(s)
     plain_mod = pk.plaintext_modulus(s)
     acc = 1
-    for x, c in zip(scalars, ciphertexts):
+    for x, c in zip(scalars, ciphertexts, strict=True):
         if c.public_key != pk or c.s != s:
             raise CryptoError("mixed keys or levels in dot product")
         x_red = x % plain_mod

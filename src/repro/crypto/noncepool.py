@@ -58,14 +58,25 @@ def encrypt_with_pool(
     plaintext: int,
     s: int = 1,
     rng: random.Random | None = None,
+    public_key: PaillierPublicKey | None = None,
 ) -> Ciphertext:
     """Encrypt using a precomputed obfuscation factor when available.
 
     Ciphertexts are indistinguishable from :meth:`PaillierPublicKey.encrypt`
     output (same distribution); when the pool is dry the factor is computed
     online, so callers never need to check pool levels.
+
+    ``public_key`` states the key the caller intends to encrypt under.
+    A pool refilled under a *different* key would silently produce
+    undecryptable ciphertexts (the factor ``r^{N^s}`` is key-specific),
+    so a mismatch raises :class:`~repro.errors.CryptoError` instead.
     """
     pk = pool.public_key
+    if public_key is not None and public_key != pk:
+        raise CryptoError(
+            "nonce pool was refilled under a different public key than the "
+            "one this encryption targets"
+        )
     mod_plain = pk.plaintext_modulus(s)
     if not 0 <= plaintext < mod_plain:
         raise CryptoError(f"plaintext out of range for s={s}")
@@ -83,11 +94,18 @@ def pooled_indicator(
     hot_index: int,
     s: int = 1,
     rng: random.Random | None = None,
+    public_key: PaillierPublicKey | None = None,
 ) -> list[Ciphertext]:
-    """The basis-vector indicator of ``encrypt_indicator``, pool-backed."""
+    """The basis-vector indicator of ``encrypt_indicator``, pool-backed.
+
+    ``public_key`` pins the expected group key — see
+    :func:`encrypt_with_pool`.
+    """
     if not 0 <= hot_index < length:
         raise CryptoError(f"hot index {hot_index} out of range [0, {length})")
     return [
-        encrypt_with_pool(pool, 1 if i == hot_index else 0, s=s, rng=rng)
+        encrypt_with_pool(
+            pool, 1 if i == hot_index else 0, s=s, rng=rng, public_key=public_key
+        )
         for i in range(length)
     ]

@@ -13,6 +13,7 @@ tests); treat its output as a secret.
 
 from __future__ import annotations
 
+import math
 import struct
 
 from repro.crypto.paillier import (
@@ -59,6 +60,44 @@ def _unpack_int(data: bytes, offset: int) -> tuple[int, int]:
     return int.from_bytes(raw, "big"), offset + length
 
 
+def _pack_float(value: float) -> bytes:
+    """Fixed-width big-endian float64 encoding (finite values only)."""
+    if not math.isfinite(value):
+        raise CryptoError("cannot serialize non-finite floats")
+    return struct.pack(">d", value)
+
+
+def _unpack_float(data: bytes, offset: int) -> tuple[float, int]:
+    """Decode one float64; rejects non-finite values on the way in too."""
+    if offset + 8 > len(data):
+        raise CryptoError("truncated float payload")
+    (value,) = struct.unpack_from(">d", data, offset)
+    if not math.isfinite(value):
+        raise CryptoError("non-finite float in serialized payload")
+    return value, offset + 8
+
+
+def _pack_str(value: str) -> bytes:
+    """Length-prefixed UTF-8 string encoding."""
+    raw = value.encode("utf-8")
+    return struct.pack(">I", len(raw)) + raw
+
+
+def _unpack_str(data: bytes, offset: int) -> tuple[str, int]:
+    """Decode one length-prefixed UTF-8 string."""
+    if offset + 4 > len(data):
+        raise CryptoError("truncated string length prefix")
+    (length,) = struct.unpack_from(">I", data, offset)
+    offset += 4
+    if offset + length > len(data):
+        raise CryptoError("truncated string payload")
+    try:
+        value = data[offset : offset + length].decode("utf-8")
+    except UnicodeDecodeError as exc:
+        raise CryptoError("invalid UTF-8 in serialized string") from exc
+    return value, offset + length
+
+
 def _check_header(data: bytes, magic: bytes) -> int:
     if len(data) < 6:
         raise CryptoError("buffer too short for a header")
@@ -71,6 +110,18 @@ def _check_header(data: bytes, magic: bytes) -> int:
             f"this library reads only version {_VERSION}"
         )
     return 6
+
+
+# Public aliases: other wire formats in this library (the session
+# checkpoints of :mod:`repro.guard.checkpoint`) reuse the same hardened
+# primitives so every byte-level rejection stays a CryptoError.
+pack_int = _pack_int
+unpack_int = _unpack_int
+pack_float = _pack_float
+unpack_float = _unpack_float
+pack_str = _pack_str
+unpack_str = _unpack_str
+FORMAT_VERSION = _VERSION
 
 
 def serialize_public_key(pk: PaillierPublicKey) -> bytes:

@@ -4,6 +4,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
+from repro.errors import ConfigurationError
 from repro.geometry.point import Point
 
 
@@ -13,6 +14,9 @@ class POI:
 
     ``poi_id`` is the stable integer identity the answer encoding transmits;
     the name stands in for the "other associated information" of Section 2.
+    A non-finite coordinate is rejected here, at record-construction time,
+    so no loader can smuggle a NaN into distance computations (NaN poisons
+    every comparison it touches and silently corrupts kNN rankings).
     """
 
     poi_id: int
@@ -22,6 +26,11 @@ class POI:
     def __post_init__(self) -> None:
         if self.poi_id < 0:
             raise ValueError("poi_id must be non-negative")
+        if not self.location.is_finite:
+            raise ConfigurationError(
+                f"POI {self.poi_id} has non-finite coordinates "
+                f"({self.location.x}, {self.location.y})"
+            )
 
     def __str__(self) -> str:
         label = self.name or f"poi-{self.poi_id}"

@@ -15,6 +15,7 @@ parses and normalizes it into the same ``list[POI]`` shape.
 
 from __future__ import annotations
 
+import math
 from pathlib import Path
 
 from repro.datasets.poi import POI
@@ -69,6 +70,12 @@ def load_sequoia_file(path: str | Path, space: LocationSpace | None = None) -> l
                 x, y = float(parts[0]), float(parts[1])
             except ValueError as exc:
                 raise ConfigurationError(f"{path}:{line_no}: bad coordinates") from exc
+            if not (math.isfinite(x) and math.isfinite(y)):
+                # float() happily parses "nan"/"inf"; a single such row
+                # would poison the bounding box and every distance.
+                raise ConfigurationError(
+                    f"{path}:{line_no}: non-finite coordinates ({x}, {y})"
+                )
             raw.append((x, y, " ".join(parts[2:])))
     if not raw:
         raise ConfigurationError(f"{path}: no POIs found")

@@ -34,7 +34,7 @@ def uniform_pois(
     xs, ys = space.sample_arrays(count, rng)
     return [
         POI(i, Point(float(x), float(y)), f"{name_prefix}-{i}")
-        for i, (x, y) in enumerate(zip(xs, ys))
+        for i, (x, y) in enumerate(zip(xs, ys, strict=True))
     ]
 
 

@@ -114,7 +114,7 @@ class POIAwareDummyGenerator(DummyGenerator):
         cells = rng.choice(g * g, size=count, p=weights)
         xs = bounds.xmin + (cells % g + rng.uniform(0, 1, count)) * cell_w
         ys = bounds.ymin + (cells // g + rng.uniform(0, 1, count)) * cell_h
-        return [Point(float(x), float(y)) for x, y in zip(xs, ys)]
+        return [Point(float(x), float(y)) for x, y in zip(xs, ys, strict=True)]
 
 
 def make_dummy_generator(name: str) -> DummyGenerator:

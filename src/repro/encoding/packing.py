@@ -18,7 +18,7 @@ def pack_fields(values: Sequence[int], widths: Sequence[int]) -> int:
         )
     packed = 0
     offset = 0
-    for value, width in zip(values, widths):
+    for value, width in zip(values, widths, strict=True):
         if width < 1:
             raise EncodingError("field widths must be positive")
         if not 0 <= value < (1 << width):

@@ -42,6 +42,78 @@ class ProtocolError(ReproError):
     """A party received a message that violates the protocol state machine."""
 
 
+class GuardError(ProtocolError):
+    """A hostile-input defense in :mod:`repro.guard` fired.
+
+    Every guard rejection names the protocol round it happened in and the
+    party whose inbound message (or silence) triggered it, so an operator
+    can attribute the abuse without replaying the transcript.
+    """
+
+    def __init__(self, message: str, *, round_id: int = 0, party: str = "") -> None:
+        self.round_id = round_id
+        self.party = party
+        origin = f" [round {round_id}, party {party or '?'}]"
+        super().__init__(message + origin)
+
+
+class ProtocolStateError(GuardError):
+    """A message arrived out of order, duplicated, or in the wrong phase.
+
+    Raised by the per-role state machines of :mod:`repro.guard.state`: a
+    replayed upload, a second query request, an answer before any request —
+    anything the round's phase ordering forbids.
+    """
+
+
+class InboundValidationError(GuardError):
+    """An inbound message is structurally or cryptographically malformed.
+
+    Raised by :mod:`repro.guard.validate` before the payload reaches the
+    crypto layer: ciphertexts outside ``Z*_{N^{s+1}}``, wrong level tags,
+    indicator/candidate shapes that contradict the solved partition,
+    NaN/out-of-space locations, undecodable plaintexts.
+    """
+
+
+class DeadlineExceededError(GuardError):
+    """A round blew its simulated-network time budget.
+
+    Carries the ``elapsed`` and ``budget`` seconds plus a partial
+    ``report`` (a :class:`~repro.protocol.metrics.CostReport` frozen at
+    abort time) so callers can account the wasted traffic instead of
+    hanging on a silent or stalling counterpart.
+    """
+
+    def __init__(
+        self,
+        *,
+        round_id: int = 0,
+        party: str = "",
+        elapsed: float = 0.0,
+        budget: float = 0.0,
+        report: object | None = None,
+    ) -> None:
+        self.elapsed = elapsed
+        self.budget = budget
+        self.report = report
+        super().__init__(
+            f"round deadline exceeded: {elapsed:.3f}s of simulated network "
+            f"time against a budget of {budget:.3f}s",
+            round_id=round_id,
+            party=party,
+        )
+
+
+class CheckpointError(ReproError):
+    """A session checkpoint could not be restored.
+
+    Raised for version/field mismatches the byte-level
+    :class:`CryptoError` checks cannot express, e.g. a checkpoint naming
+    an unknown protocol.
+    """
+
+
 class InfeasibleError(ConfigurationError):
     """No feasible solution exists for an optimization problem instance.
 

@@ -19,6 +19,11 @@ class Point:
     x: float
     y: float
 
+    @property
+    def is_finite(self) -> bool:
+        """True when both coordinates are finite (no NaN, no ±∞)."""
+        return math.isfinite(self.x) and math.isfinite(self.y)
+
     def distance_to(self, other: "Point") -> float:
         """Euclidean distance to ``other``."""
         return math.hypot(self.x - other.x, self.y - other.y)

@@ -56,7 +56,7 @@ class LocationSpace:
     def sample_points(self, count: int, rng: np.random.Generator) -> list[Point]:
         """Draw ``count`` i.i.d. uniform locations."""
         xs, ys = self.sample_arrays(count, rng)
-        return [Point(float(x), float(y)) for x, y in zip(xs, ys)]
+        return [Point(float(x), float(y)) for x, y in zip(xs, ys, strict=True)]
 
     def sample_arrays(
         self, count: int, rng: np.random.Generator

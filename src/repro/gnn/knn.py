@@ -40,7 +40,7 @@ def incremental_nearest(tree: RTree, query: Point):
             continue
         node = payload
         if node.is_leaf:
-            for p, item in zip(node.points, node.items):
+            for p, item in zip(node.points, node.items, strict=True):
                 heapq.heappush(
                     heap, (p.distance_to(query), (p.x, p.y), next(seq), True, (p, item))
                 )
@@ -83,7 +83,7 @@ def best_first_knn(tree: RTree, query: Point, k: int) -> list[tuple[Point, Any]]
             continue
         node = payload
         if node.is_leaf:
-            for p, item in zip(node.points, node.items):
+            for p, item in zip(node.points, node.items, strict=True):
                 heapq.heappush(
                     heap, (p.distance_to(query), (p.x, p.y), next(seq), True, (p, item))
                 )

@@ -53,7 +53,7 @@ def mbm_kgnn(
             continue
         node = payload
         if node.is_leaf:
-            for p, item in zip(node.points, node.items):
+            for p, item in zip(node.points, node.items, strict=True):
                 cost = aggregate(p.distance_to(q) for q in locations)
                 heapq.heappush(heap, (cost, (p.x, p.y), next(seq), True, (p, item)))
         else:

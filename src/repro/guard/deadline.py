@@ -1,0 +1,50 @@
+"""Round deadlines on the simulated network clock.
+
+The transport layer charges every simulated wait — latency, timeouts,
+retry backoff — to the ledger's ``"network"`` clock.  A
+:class:`RoundDeadline` watches that clock: the runner ticks it after each
+delivery, and once the accumulated waiting exceeds the budget the round
+aborts with :class:`~repro.errors.DeadlineExceededError` carrying a
+*partial* cost report, so a stalling or silent counterpart costs a bounded
+amount of (simulated) time and the traffic spent is still accounted.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import ConfigurationError, DeadlineExceededError
+from repro.protocol.metrics import CostLedger
+from repro.transport.transport import NETWORK
+
+
+@dataclass
+class RoundDeadline:
+    """A budget of simulated network seconds for one protocol round."""
+
+    budget_seconds: float
+    round_id: int = 0
+
+    def __post_init__(self) -> None:
+        if self.budget_seconds <= 0:
+            raise ConfigurationError("deadline budget must be positive")
+
+    def elapsed(self, ledger: CostLedger) -> float:
+        """Simulated network seconds accrued so far in this run."""
+        return ledger.times.get(NETWORK, 0.0)
+
+    def tick(self, ledger: CostLedger, *, party: str = "") -> None:
+        """Abort the round when the network clock has passed the budget.
+
+        ``party`` names the counterpart whose delivery just completed —
+        the most recent suspect when the budget blows.
+        """
+        elapsed = self.elapsed(ledger)
+        if elapsed > self.budget_seconds:
+            raise DeadlineExceededError(
+                round_id=self.round_id,
+                party=party,
+                elapsed=elapsed,
+                budget=self.budget_seconds,
+                report=ledger.report(),
+            )

@@ -1,0 +1,167 @@
+"""Per-role protocol state machines (coordinator / member / LSP).
+
+A PPGNN round has a fixed message choreography (PROTOCOL.md §§1–4):
+positions out, request out, uploads in, answer back, broadcast out.  Each
+role's legal view of that choreography is a small deterministic automaton;
+:class:`RoleStateMachine` walks it and raises
+:class:`~repro.errors.ProtocolStateError` the moment an event arrives in
+the wrong phase, twice, or not at all — turning "a replayed upload
+eventually corrupts the candidate matrix" into an immediate, attributable
+rejection.
+
+The machines are message-count aware where the protocol is: the LSP must
+see exactly one request and exactly ``n`` uploads with distinct user ids;
+a member must see exactly one position assignment before it uploads.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.errors import ProtocolStateError
+
+# Canonical phase names, shared by all three roles.  Each machine only
+# uses the slice of this alphabet its role participates in.
+IDLE = "idle"
+POSITIONED = "positioned"
+REQUESTED = "requested"
+UPLOADING = "uploading"
+ANSWERED = "answered"
+DECRYPTED = "decrypted"
+DONE = "done"
+
+
+@dataclass
+class RoleStateMachine:
+    """One role's legal event sequence, as a transition table.
+
+    ``transitions`` maps ``(state, event) -> next state``; any event
+    without an entry for the current state is a protocol violation.
+    """
+
+    role: str
+    transitions: dict[tuple[str, str], str]
+    state: str = IDLE
+    round_id: int = 0
+    history: list[str] = field(default_factory=list)
+
+    def advance(self, event: str, *, party: str | None = None) -> str:
+        """Consume one event; returns the new state or raises.
+
+        ``party`` names the counterpart whose message triggered the event
+        (defaults to this machine's own role) so the raised error
+        attributes the deviation to the sender, not the victim.
+        """
+        key = (self.state, event)
+        nxt = self.transitions.get(key)
+        if nxt is None:
+            raise ProtocolStateError(
+                f"{self.role} received event {event!r} in state "
+                f"{self.state!r}; legal events here: "
+                f"{sorted(e for (s, e) in self.transitions if s == self.state)}",
+                round_id=self.round_id,
+                party=party or self.role,
+            )
+        self.history.append(event)
+        self.state = nxt
+        return nxt
+
+    def require(self, state: str, context: str) -> None:
+        """Assert the machine is in ``state`` before a side effect."""
+        if self.state != state:
+            raise ProtocolStateError(
+                f"{self.role} attempted {context} in state {self.state!r} "
+                f"(requires {state!r})",
+                round_id=self.round_id,
+                party=self.role,
+            )
+
+
+def coordinator_machine(round_id: int = 0) -> RoleStateMachine:
+    """u_c's view: plan, assign positions, send request, receive the one
+    answer, decrypt, broadcast."""
+    return RoleStateMachine(
+        role="coordinator",
+        round_id=round_id,
+        transitions={
+            (IDLE, "plan"): POSITIONED,
+            (POSITIONED, "send_position"): POSITIONED,
+            (POSITIONED, "send_request"): REQUESTED,
+            (REQUESTED, "recv_answer"): ANSWERED,
+            (ANSWERED, "decrypt"): DECRYPTED,
+            (DECRYPTED, "broadcast"): DECRYPTED,
+            (DECRYPTED, "finish"): DONE,
+        },
+    )
+
+
+def member_machine(user_index: int, round_id: int = 0) -> RoleStateMachine:
+    """A regular member's view: exactly one position, then one upload,
+    then the plaintext broadcast.  A second position assignment is a
+    replay and rejected."""
+    return RoleStateMachine(
+        role=f"user:{user_index}",
+        round_id=round_id,
+        transitions={
+            (IDLE, "recv_position"): POSITIONED,
+            (POSITIONED, "upload"): UPLOADING,
+            (UPLOADING, "recv_broadcast"): DONE,
+        },
+    )
+
+
+@dataclass
+class LSPStateMachine(RoleStateMachine):
+    """The LSP's view, extended with upload bookkeeping.
+
+    The LSP must see one request, then exactly ``expected_users`` uploads
+    carrying distinct ids in ``[0, n)``, then emit one answer.  Duplicate
+    or out-of-range ids — a member replaying or impersonating — raise
+    immediately.
+    """
+
+    expected_users: int = 0
+    seen_users: set[int] = field(default_factory=set)
+
+    def recv_upload(self, user_id: int, *, party: str | None = None) -> None:
+        self.advance("recv_upload", party=party or f"user:{user_id}")
+        if not 0 <= user_id < self.expected_users:
+            raise ProtocolStateError(
+                f"upload carries user id {user_id} outside [0, "
+                f"{self.expected_users})",
+                round_id=self.round_id,
+                party=f"user:{user_id}",
+            )
+        if user_id in self.seen_users:
+            raise ProtocolStateError(
+                f"duplicate upload for user id {user_id} (replayed or "
+                "impersonated member)",
+                round_id=self.round_id,
+                party=f"user:{user_id}",
+            )
+        self.seen_users.add(user_id)
+
+    def ready_to_answer(self) -> None:
+        """Advance to answering; requires the full complement of uploads."""
+        if len(self.seen_users) != self.expected_users:
+            raise ProtocolStateError(
+                f"LSP asked to answer with {len(self.seen_users)} of "
+                f"{self.expected_users} uploads",
+                round_id=self.round_id,
+                party="lsp",
+            )
+        self.advance("send_answer", party="lsp")
+
+
+def lsp_machine(expected_users: int, round_id: int = 0) -> LSPStateMachine:
+    """The provider-side automaton for one group round."""
+    return LSPStateMachine(
+        role="lsp",
+        round_id=round_id,
+        expected_users=expected_users,
+        transitions={
+            (IDLE, "recv_request"): UPLOADING,
+            (UPLOADING, "recv_upload"): UPLOADING,
+            (UPLOADING, "send_answer"): ANSWERED,
+        },
+    )

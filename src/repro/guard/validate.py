@@ -1,0 +1,192 @@
+"""Inbound validation: every field checked before the crypto layer sees it.
+
+The paper's proofs assume semi-honest parties; a buggy or cheating
+counterpart can still send junk.  These checks are the guard's second
+layer (after the state machines): each one inspects exactly one inbound
+artifact — a ciphertext, an indicator vector, a location set, a decrypted
+plaintext — and raises :class:`~repro.errors.InboundValidationError`
+naming the round and the offending party.
+
+Ciphertext membership is the load-bearing check: a Damgård–Jurik
+ciphertext must satisfy ``0 < c < N^{s+1}`` and ``gcd(c, N) = 1`` (a value
+sharing a factor with N is not in ``Z*_{N^{s+1}}`` — worse, it factors the
+modulus), and its level tag must match what the protocol phase expects.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Sequence
+
+from repro.crypto.paillier import Ciphertext, PaillierPublicKey
+from repro.errors import InboundValidationError
+from repro.geometry.point import Point
+from repro.geometry.space import LocationSpace
+
+
+def check_ciphertext(
+    c: object,
+    public_key: PaillierPublicKey,
+    expected_s: int,
+    *,
+    round_id: int = 0,
+    party: str = "",
+    what: str = "ciphertext",
+) -> Ciphertext:
+    """Membership + level-tag check for one inbound ciphertext."""
+    if not isinstance(c, Ciphertext):
+        raise InboundValidationError(
+            f"{what} is not a ciphertext ({type(c).__name__})",
+            round_id=round_id,
+            party=party,
+        )
+    if c.public_key != public_key:
+        raise InboundValidationError(
+            f"{what} is bound to a different public key",
+            round_id=round_id,
+            party=party,
+        )
+    if c.s != expected_s:
+        raise InboundValidationError(
+            f"{what} carries level tag s={c.s}, expected s={expected_s}",
+            round_id=round_id,
+            party=party,
+        )
+    if not 0 < c.value < public_key.ciphertext_modulus(expected_s):
+        raise InboundValidationError(
+            f"{what} value outside (0, N^{expected_s + 1})",
+            round_id=round_id,
+            party=party,
+        )
+    if math.gcd(c.value, public_key.n) != 1:
+        raise InboundValidationError(
+            f"{what} value is not a unit modulo N^{expected_s + 1}",
+            round_id=round_id,
+            party=party,
+        )
+    return c
+
+
+def check_ciphertext_vector(
+    vector: Sequence,
+    expected_length: int,
+    public_key: PaillierPublicKey,
+    expected_s: int,
+    *,
+    round_id: int = 0,
+    party: str = "",
+    what: str = "ciphertext vector",
+) -> None:
+    """Structural + element-wise check of an indicator or answer vector."""
+    if len(vector) != expected_length:
+        raise InboundValidationError(
+            f"{what} has {len(vector)} entries, expected {expected_length}",
+            round_id=round_id,
+            party=party,
+        )
+    for i, c in enumerate(vector):
+        check_ciphertext(
+            c,
+            public_key,
+            expected_s,
+            round_id=round_id,
+            party=party,
+            what=f"{what}[{i}]",
+        )
+
+
+def check_finite_point(
+    p: object,
+    *,
+    space: LocationSpace | None = None,
+    round_id: int = 0,
+    party: str = "",
+    what: str = "location",
+) -> Point:
+    """Reject NaN/∞ coordinates and (optionally) out-of-space points."""
+    if not isinstance(p, Point):
+        raise InboundValidationError(
+            f"{what} is not a Point ({type(p).__name__})",
+            round_id=round_id,
+            party=party,
+        )
+    if not (math.isfinite(p.x) and math.isfinite(p.y)):
+        raise InboundValidationError(
+            f"{what} has non-finite coordinates ({p.x}, {p.y})",
+            round_id=round_id,
+            party=party,
+        )
+    if space is not None and not space.contains(p):
+        raise InboundValidationError(
+            f"{what} ({p.x}, {p.y}) lies outside the location space",
+            round_id=round_id,
+            party=party,
+        )
+    return p
+
+
+def check_location_set(
+    locations: Sequence,
+    expected_size: int,
+    space: LocationSpace,
+    *,
+    round_id: int = 0,
+    party: str = "",
+) -> None:
+    """A member's upload must be exactly d in-space, finite locations."""
+    if len(locations) != expected_size:
+        raise InboundValidationError(
+            f"location set has {len(locations)} entries, expected "
+            f"{expected_size}",
+            round_id=round_id,
+            party=party,
+        )
+    for i, p in enumerate(locations):
+        check_finite_point(
+            p,
+            space=space,
+            round_id=round_id,
+            party=party,
+            what=f"location[{i}]",
+        )
+
+
+def check_position(
+    position: int,
+    d: int,
+    *,
+    round_id: int = 0,
+    party: str = "",
+) -> int:
+    """A position assignment must index a slot of the length-d set."""
+    if not isinstance(position, int) or isinstance(position, bool):
+        raise InboundValidationError(
+            f"position assignment is not an integer ({type(position).__name__})",
+            round_id=round_id,
+            party=party,
+        )
+    if not 0 <= position < d:
+        raise InboundValidationError(
+            f"position {position} outside [0, {d})",
+            round_id=round_id,
+            party=party,
+        )
+    return position
+
+
+def check_plaintext(
+    value: int,
+    public_key: PaillierPublicKey,
+    s: int = 1,
+    *,
+    round_id: int = 0,
+    party: str = "",
+) -> int:
+    """A decrypted integer must lie in the level-s plaintext space."""
+    if not 0 <= value < public_key.plaintext_modulus(s):
+        raise InboundValidationError(
+            f"decrypted value outside [0, N^{s})",
+            round_id=round_id,
+            party=party,
+        )
+    return value

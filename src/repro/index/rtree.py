@@ -113,7 +113,7 @@ class RTree(SpatialIndex):
         while stack:
             node = stack.pop()
             if node.is_leaf:
-                yield from zip(node.points, node.items)
+                yield from zip(node.points, node.items, strict=True)
             else:
                 stack.extend(node.children)
 
@@ -179,7 +179,7 @@ class RTree(SpatialIndex):
         """Guttman's split skeleton; ``pick_seeds`` chooses the two seeds."""
         if node.is_leaf:
             rects = [Rect.from_point(p) for p in node.points]
-            payloads: list[Any] = list(zip(node.points, node.items))
+            payloads: list[Any] = list(zip(node.points, node.items, strict=True))
         else:
             rects = [c.mbr for c in node.children]  # type: ignore[misc]
             payloads = list(node.children)
@@ -335,7 +335,7 @@ class RTree(SpatialIndex):
         leaf, path = found
         idx = next(
             i
-            for i, (p, it) in enumerate(zip(leaf.points, leaf.items))
+            for i, (p, it) in enumerate(zip(leaf.points, leaf.items, strict=True))
             if p == location and it is item or (p == location and it == item)
         )
         leaf.points.pop(idx)
@@ -348,7 +348,7 @@ class RTree(SpatialIndex):
         self, node: _Node, location: Point, item: Any, path: list[_Node]
     ) -> tuple[_Node, list[_Node]] | None:
         if node.is_leaf:
-            for p, it in zip(node.points, node.items):
+            for p, it in zip(node.points, node.items, strict=True):
                 if p == location and (it is item or it == item):
                     return node, path
             return None
@@ -366,7 +366,7 @@ class RTree(SpatialIndex):
             if node.entry_count() < self.min_entries and node is not self.root:
                 parent.children.remove(node)
                 orphans.extend(
-                    zip(node.points, node.items)
+                    zip(node.points, node.items, strict=True)
                     if node.is_leaf
                     else [e for c in self._collect_leaves(node) for e in c]
                 )
@@ -381,7 +381,7 @@ class RTree(SpatialIndex):
 
     def _collect_leaves(self, node: _Node) -> list[list[tuple[Point, Any]]]:
         if node.is_leaf:
-            return [list(zip(node.points, node.items))]
+            return [list(zip(node.points, node.items, strict=True))]
         collected: list[list[tuple[Point, Any]]] = []
         for child in node.children:
             collected.extend(self._collect_leaves(child))
@@ -397,7 +397,7 @@ class RTree(SpatialIndex):
             if node.mbr is None or not node.mbr.intersects(rect):
                 continue
             if node.is_leaf:
-                for p, item in zip(node.points, node.items):
+                for p, item in zip(node.points, node.items, strict=True):
                     if rect.contains_point(p):
                         result.append((p, item))
             else:

@@ -83,6 +83,7 @@ class ResilientSession(QuerySession):
                     self.config,
                     seed=seed,
                     transport=self.transport,
+                    guard=self.guard,
                 )
             except GroupMemberLostError as lost:
                 if (

@@ -72,7 +72,7 @@ class TestAttackMechanics:
                 n_samples=4000, rng=np.random.default_rng(rng_seed),
             )
             thetas.append(result.theta_estimate)
-        assert all(a >= b for a, b in zip(thetas, thetas[1:]))
+        assert all(a >= b for a, b in zip(thetas, thetas[1:], strict=False))
 
     def test_feasible_box_bounds_samples(self, space, engine):
         group = group_of(4, 2)

@@ -1,10 +1,13 @@
 """Tests for the benchmark harness utilities."""
 
+import warnings
+
 import numpy as np
 import pytest
 
 from repro.bench.harness import (
     BenchSettings,
+    MeasuredCosts,
     average_runs,
     format_bytes,
     format_seconds,
@@ -54,6 +57,29 @@ class TestMeasurement:
             (a.total_comm_bytes + b.total_comm_bytes) / 2
         )
         assert averaged.mean_answer_length == 3
+
+
+class TestDegenerateInputs:
+    def test_average_runs_of_zero_runs_warns_and_zeroes(self):
+        with pytest.warns(RuntimeWarning, match="zero runs"):
+            averaged = average_runs([], [])
+        assert averaged.comm_bytes == 0.0
+        assert averaged.user_seconds == 0.0
+        assert averaged.lsp_seconds == 0.0
+        assert averaged.answer_lengths == []
+
+    def test_mean_answer_length_of_empty_point_warns(self):
+        costs = MeasuredCosts(comm_bytes=0.0, user_seconds=0.0, lsp_seconds=0.0)
+        with pytest.warns(RuntimeWarning, match="no recorded answers"):
+            assert costs.mean_answer_length == 0.0
+
+    def test_populated_point_does_not_warn(self):
+        costs = MeasuredCosts(
+            comm_bytes=1.0, user_seconds=0.0, lsp_seconds=0.0, answer_lengths=[2, 4]
+        )
+        with warnings.catch_warnings():
+            warnings.simplefilter("error")
+            assert costs.mean_answer_length == 3.0
 
 
 class TestFormatting:

@@ -166,8 +166,8 @@ class TestOmegaChoice:
         for delta_prime in (1, 2, 7, 8, 50, 100, 225):
             best = optimal_omega(delta_prime)
 
-            def cost(w):
-                return 3 * w + 2 * math.ceil(delta_prime / w)
+            def cost(w, dp=delta_prime):
+                return 3 * w + 2 * math.ceil(dp / w)
 
             assert all(cost(best) <= cost(w) for w in range(1, delta_prime + 1))
 

@@ -83,7 +83,7 @@ class TestDotProduct:
         xs = [3, 0, 7, 2]
         vs = [10, 20, 30, 40]
         c = hom_dot(xs, [pk.encrypt(v, rng=rng) for v in vs])
-        assert sk.decrypt(c) == sum(x * v for x, v in zip(xs, vs))
+        assert sk.decrypt(c) == sum(x * v for x, v in zip(xs, vs, strict=True))
 
     def test_zero_scalars_are_skipped(self, kp):
         _, pk = kp

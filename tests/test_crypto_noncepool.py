@@ -82,6 +82,35 @@ class TestNoncePool:
         with pytest.raises(CryptoError):
             pooled_indicator(NoncePool(pk), 3, 3)
 
+    def test_wrong_key_pool_rejected(self, kp):
+        _, pk = kp
+        _, other_pk = generate_keypair(256, seed=1357)
+        pool = NoncePool(other_pk)
+        pool.refill(3, rng=random.Random(9))
+        with pytest.raises(CryptoError, match="different public key"):
+            encrypt_with_pool(pool, 5, public_key=pk)
+        with pytest.raises(CryptoError, match="different public key"):
+            pooled_indicator(pool, 3, 1, public_key=pk)
+
+    def test_wrong_key_rejected_even_when_dry(self, kp):
+        # The online fallback would use the *pool's* key, which is still
+        # not the one the caller asked for — dryness must not mask it.
+        _, pk = kp
+        _, other_pk = generate_keypair(256, seed=1357)
+        pool = NoncePool(other_pk)
+        with pytest.raises(CryptoError, match="different public key"):
+            encrypt_with_pool(pool, 5, public_key=pk)
+
+    def test_matching_key_expectation_passes(self, kp):
+        sk, pk = kp
+        pool = NoncePool(pk)
+        pool.refill(1, rng=random.Random(10))
+        c = encrypt_with_pool(pool, 77, public_key=pk)
+        assert sk.decrypt(c) == 77
+        # And the dry-pool fallback still honors a matching expectation.
+        d = encrypt_with_pool(pool, 78, rng=random.Random(11), public_key=pk)
+        assert sk.decrypt(d) == 78
+
     def test_online_phase_is_faster_with_pool(self, kp):
         """The point of the exercise: query-time encryption gets cheaper."""
         _, pk = kp

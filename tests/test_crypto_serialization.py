@@ -16,12 +16,30 @@ from repro.crypto.serialization import (
     serialize_private_key,
     serialize_public_key,
 )
-from repro.errors import CryptoError
+from repro.errors import CryptoError, ReproError
+from repro.guard.checkpoint import restore_session
 
 
 @pytest.fixture(scope="module")
 def kp():
     return generate_keypair(256, seed=777)
+
+
+@pytest.fixture(scope="module")
+def checkpoint_blob(medium_pois):
+    """A serialized session checkpoint plus the LSP to restore against."""
+    from repro.core.config import PPGNNConfig
+    from repro.core.lsp import LSPServer
+    from repro.core.session import QuerySession, SessionTotals
+
+    lsp = LSPServer(medium_pois, sanitation_samples=400, seed=99)
+    session = QuerySession(
+        lsp,
+        PPGNNConfig(d=4, delta=8, k=3, keysize=256, key_seed=5),
+        seed=17,
+        totals=SessionTotals(queries=2, comm_bytes=1816, answers_returned=6),
+    )
+    return session.checkpoint(), lsp
 
 
 class TestPublicKey:
@@ -167,3 +185,69 @@ class TestCRTDecryption:
         c = pk.encrypt(42, s=2, rng=random.Random(5))
         # use_crt is ignored for s > 1 — the generic path runs and is exact.
         assert sk.decrypt(c, use_crt=True) == 42
+
+
+class TestMutationFuzz:
+    """Random byte damage must never escape as an untyped exception.
+
+    Three mutation families — flip, truncate, insert — against every
+    serialized artifact (keys, ciphertexts, session checkpoints).  A
+    mutated buffer may still parse (e.g. a flipped bit inside a
+    ciphertext value yields a different but well-formed ciphertext);
+    what it must never do is raise anything outside the ReproError
+    hierarchy: no struct.error, no UnicodeDecodeError, no
+    OverflowError leaking from the codec internals.
+    """
+
+    @staticmethod
+    def _mutate(data: bytes, seed: int) -> bytes:
+        rng = random.Random(seed)
+        buf = bytearray(data)
+        op = rng.randrange(3)
+        if op == 0 and buf:  # flip a byte
+            i = rng.randrange(len(buf))
+            buf[i] ^= rng.randrange(1, 256)
+        elif op == 1 and buf:  # truncate
+            del buf[rng.randrange(len(buf)) :]
+        else:  # insert junk
+            i = rng.randrange(len(buf) + 1)
+            buf[i:i] = bytes(rng.randrange(256) for _ in range(rng.randrange(1, 5)))
+        return bytes(buf)
+
+    @settings(max_examples=150, deadline=None)
+    @given(st.integers(min_value=0, max_value=2**32))
+    def test_public_key_mutations_are_typed(self, kp, seed):
+        _, pk = kp
+        try:
+            deserialize_public_key(self._mutate(serialize_public_key(pk), seed))
+        except ReproError:
+            pass
+
+    @settings(max_examples=150, deadline=None)
+    @given(st.integers(min_value=0, max_value=2**32))
+    def test_private_key_mutations_are_typed(self, kp, seed):
+        sk, _ = kp
+        try:
+            deserialize_private_key(self._mutate(serialize_private_key(sk), seed))
+        except ReproError:
+            pass
+
+    @settings(max_examples=150, deadline=None)
+    @given(st.integers(min_value=0, max_value=2**32))
+    def test_ciphertext_mutations_are_typed(self, kp, seed):
+        _, pk = kp
+        c = pk.encrypt(123456, rng=random.Random(1))
+        data = self._mutate(serialize_ciphertext(c), seed)
+        try:
+            deserialize_ciphertext(data, pk)
+        except ReproError:
+            pass
+
+    @settings(max_examples=150, deadline=None)
+    @given(st.integers(min_value=0, max_value=2**32))
+    def test_checkpoint_mutations_are_typed(self, checkpoint_blob, seed):
+        blob, lsp = checkpoint_blob
+        try:
+            restore_session(self._mutate(blob, seed), lsp)
+        except ReproError:
+            pass

@@ -1,5 +1,7 @@
 """Tests for POI records and dataset generators/loaders."""
 
+import math
+
 import pytest
 
 from repro.datasets.poi import POI
@@ -23,6 +25,19 @@ class TestPOI:
     def test_frozen_and_hashable(self):
         p = POI(1, Point(0, 0), "x")
         assert {p, POI(1, Point(0, 0), "x")} == {p}
+
+    @pytest.mark.parametrize(
+        "bad",
+        [
+            Point(math.nan, 0.5),
+            Point(0.5, math.nan),
+            Point(math.inf, 0.0),
+            Point(0.0, -math.inf),
+        ],
+    )
+    def test_non_finite_location_rejected(self, bad):
+        with pytest.raises(ConfigurationError, match="non-finite"):
+            POI(1, bad)
 
 
 class TestSyntheticGenerators:
@@ -111,4 +126,15 @@ class TestSequoia:
             load_sequoia_file(bad)
         bad.write_text("\n\n")
         with pytest.raises(ConfigurationError):
+            load_sequoia_file(bad)
+
+    @pytest.mark.parametrize("poison", ["nan", "inf", "-inf", "NaN"])
+    def test_file_loader_rejects_non_finite_rows(self, tmp_path, poison):
+        # float() parses these strings happily; the loader must not.
+        bad = tmp_path / "bad.txt"
+        bad.write_text(f"1 2 ok\n{poison} 4 poisoned\n")
+        with pytest.raises(ConfigurationError, match="bad.txt:2"):
+            load_sequoia_file(bad)
+        bad.write_text(f"1 2 ok\n3 {poison} poisoned\n")
+        with pytest.raises(ConfigurationError, match="non-finite"):
             load_sequoia_file(bad)

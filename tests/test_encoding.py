@@ -93,7 +93,7 @@ class TestAnswerCodec:
 
     def test_roundtrip_locations_quantized(self, codec, pois):
         decoded = codec.decode(codec.encode(pois[:8]))
-        for d, p in zip(decoded, pois[:8]):
+        for d, p in zip(decoded, pois[:8], strict=True):
             assert d.location.distance_to(p.location) < 1e-5
 
     def test_shorter_answers_padded(self, codec, pois):

@@ -82,7 +82,7 @@ class TestVectorized:
         ys = np.array([0.0, 1.0, 2.0])
         target = Point(1.0, 0.0)
         out = pairwise_distances(xs, ys, target)
-        expected = [euclidean(Point(x, y), target) for x, y in zip(xs, ys)]
+        expected = [euclidean(Point(x, y), target) for x, y in zip(xs, ys, strict=True)]
         assert np.allclose(out, expected)
 
     def test_distance_matrix_matches_scalar(self):

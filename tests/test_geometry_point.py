@@ -33,6 +33,13 @@ class TestPointBasics:
     def test_points_are_hashable_and_equal_by_value(self):
         assert {Point(1, 2), Point(1, 2)} == {Point(1, 2)}
 
+    def test_is_finite(self):
+        assert Point(0.0, -1e300).is_finite
+        assert not Point(math.nan, 0.0).is_finite
+        assert not Point(0.0, math.nan).is_finite
+        assert not Point(math.inf, 0.0).is_finite
+        assert not Point(0.0, -math.inf).is_finite
+
     def test_lexicographic_ordering(self):
         assert Point(1, 5) < Point(2, 0)
         assert Point(1, 1) < Point(1, 2)

@@ -1,0 +1,92 @@
+"""Round deadlines: slow networks abort with a partial cost report."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import ConfigurationError, DeadlineExceededError, GuardError
+from repro.guard.deadline import RoundDeadline
+from repro.guard.guard import ProtocolGuard
+from repro.protocol.metrics import CostLedger
+from repro.transport.channel import FaultyChannel
+from repro.transport.faults import FaultPlan, LinkFaults
+from repro.transport.session import ResilientSession
+from repro.transport.transport import NETWORK
+
+
+class TestRoundDeadline:
+    def test_budget_must_be_positive(self):
+        with pytest.raises(ConfigurationError):
+            RoundDeadline(0.0)
+        with pytest.raises(ConfigurationError):
+            RoundDeadline(-1.0)
+
+    def test_quiet_clock_never_fires(self):
+        ledger = CostLedger()
+        deadline = RoundDeadline(1.0)
+        for _ in range(5):
+            deadline.tick(ledger)
+
+    def test_fires_past_budget_with_partial_report(self):
+        ledger = CostLedger()
+        ledger.times[NETWORK] = 2.5
+        deadline = RoundDeadline(1.0, round_id=4)
+        with pytest.raises(DeadlineExceededError) as info:
+            deadline.tick(ledger, party="lsp")
+        exc = info.value
+        assert exc.round_id == 4
+        assert exc.party == "lsp"
+        assert exc.elapsed == pytest.approx(2.5)
+        assert exc.budget == pytest.approx(1.0)
+        assert exc.report is not None  # partial accounting survives the abort
+        assert isinstance(exc, GuardError)
+
+    def test_exact_budget_is_within_deadline(self):
+        ledger = CostLedger()
+        ledger.times[NETWORK] = 1.0
+        RoundDeadline(1.0).tick(ledger)
+
+
+class TestDeadlineIntegration:
+    def test_slow_network_aborts_the_round(self, lsp, fast_config, space, nprng):
+        # Every delivery waits 2 simulated seconds; the budget allows ~2
+        # deliveries, so the round dies long before the answer comes back.
+        plan = FaultPlan(default=LinkFaults(latency_seconds=2.0))
+        session = ResilientSession(
+            lsp,
+            fast_config,
+            channel=FaultyChannel(plan),
+            guard=ProtocolGuard(deadline_seconds=5.0),
+        )
+        locations = space.sample_points(3, nprng)
+        with pytest.raises(DeadlineExceededError) as info:
+            session.query(locations)
+        exc = info.value
+        assert exc.elapsed > exc.budget
+        # The partial report still accounts the traffic sent before the abort.
+        assert exc.report.total_comm_bytes > 0
+        assert session.totals.queries == 0  # the aborted round is not counted
+
+    def test_fast_network_meets_the_deadline(self, lsp, fast_config, space, nprng):
+        plan = FaultPlan(default=LinkFaults(latency_seconds=0.01))
+        session = ResilientSession(
+            lsp,
+            fast_config,
+            channel=FaultyChannel(plan),
+            guard=ProtocolGuard(deadline_seconds=5.0),
+        )
+        locations = space.sample_points(3, nprng)
+        result = session.query(locations)
+        assert len(result.answers) > 0
+
+    def test_unarmed_guard_has_no_deadline(self, lsp, fast_config, space, nprng):
+        plan = FaultPlan(default=LinkFaults(latency_seconds=2.0))
+        session = ResilientSession(
+            lsp,
+            fast_config,
+            channel=FaultyChannel(plan),
+            guard=ProtocolGuard(),  # no deadline_seconds: waits are unbounded
+        )
+        locations = space.sample_points(2, nprng)
+        result = session.query(locations)
+        assert len(result.answers) > 0

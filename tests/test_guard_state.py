@@ -1,0 +1,150 @@
+"""Unit tests for the per-role protocol state machines."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import GuardError, ProtocolError, ProtocolStateError
+from repro.guard.state import (
+    ANSWERED,
+    DONE,
+    IDLE,
+    POSITIONED,
+    UPLOADING,
+    coordinator_machine,
+    lsp_machine,
+    member_machine,
+)
+
+
+class TestCoordinatorMachine:
+    def test_happy_path(self):
+        m = coordinator_machine()
+        assert m.state == IDLE
+        m.advance("plan")
+        m.advance("send_position")
+        m.advance("send_position")  # one per user: self-loop
+        m.advance("send_request")
+        m.advance("recv_answer")
+        m.advance("decrypt")
+        m.advance("broadcast")
+        m.advance("finish")
+        assert m.state == DONE
+        assert m.history[0] == "plan"
+
+    def test_answer_before_request_rejected(self):
+        m = coordinator_machine()
+        m.advance("plan")
+        with pytest.raises(ProtocolStateError, match="recv_answer"):
+            m.advance("recv_answer")
+
+    def test_second_answer_rejected(self):
+        m = coordinator_machine()
+        m.advance("plan")
+        m.advance("send_request")
+        m.advance("recv_answer")
+        with pytest.raises(ProtocolStateError):
+            m.advance("recv_answer", party="lsp")
+
+    def test_error_names_round_and_party(self):
+        m = coordinator_machine(round_id=3)
+        try:
+            m.advance("recv_answer", party="lsp")
+        except ProtocolStateError as exc:
+            assert exc.round_id == 3
+            assert exc.party == "lsp"
+            assert "round 3" in str(exc)
+            assert "lsp" in str(exc)
+        else:
+            pytest.fail("expected ProtocolStateError")
+
+    def test_error_lists_legal_events(self):
+        m = coordinator_machine()
+        with pytest.raises(ProtocolStateError, match="plan"):
+            m.advance("finish")
+
+    def test_is_a_protocol_error(self):
+        m = coordinator_machine()
+        with pytest.raises(GuardError):
+            m.advance("finish")
+        with pytest.raises(ProtocolError):
+            m.advance("finish")
+
+    def test_require(self):
+        m = coordinator_machine()
+        m.require(IDLE, "planning")
+        with pytest.raises(ProtocolStateError, match="decryption"):
+            m.require(ANSWERED, "decryption")
+
+
+class TestMemberMachine:
+    def test_happy_path(self):
+        m = member_machine(2)
+        m.advance("recv_position")
+        m.advance("upload")
+        m.advance("recv_broadcast")
+        assert m.state == DONE
+
+    def test_replayed_position_rejected(self):
+        m = member_machine(0)
+        m.advance("recv_position")
+        assert m.state == POSITIONED
+        with pytest.raises(ProtocolStateError, match="recv_position"):
+            m.advance("recv_position", party="coordinator")
+
+    def test_upload_without_position_rejected(self):
+        m = member_machine(1)
+        with pytest.raises(ProtocolStateError):
+            m.advance("upload")
+
+    def test_role_names_the_user(self):
+        assert member_machine(4).role == "user:4"
+
+
+class TestLSPMachine:
+    def _requested(self, n=3):
+        m = lsp_machine(n)
+        m.advance("recv_request", party="coordinator")
+        return m
+
+    def test_happy_path(self):
+        m = self._requested(3)
+        for uid in (0, 1, 2):
+            m.recv_upload(uid)
+        m.ready_to_answer()
+        assert m.state == ANSWERED
+
+    def test_upload_before_request_rejected(self):
+        m = lsp_machine(2)
+        with pytest.raises(ProtocolStateError):
+            m.recv_upload(0)
+
+    def test_duplicate_user_id_rejected(self):
+        m = self._requested(3)
+        m.recv_upload(1)
+        with pytest.raises(ProtocolStateError, match="duplicate"):
+            m.recv_upload(1)
+
+    def test_out_of_range_user_id_rejected(self):
+        m = self._requested(3)
+        with pytest.raises(ProtocolStateError, match="outside"):
+            m.recv_upload(7)
+        with pytest.raises(ProtocolStateError, match="outside"):
+            m.recv_upload(-1)
+
+    def test_answer_with_missing_uploads_rejected(self):
+        m = self._requested(3)
+        m.recv_upload(0)
+        with pytest.raises(ProtocolStateError, match="1 of 3"):
+            m.ready_to_answer()
+        assert m.state == UPLOADING  # the failed attempt must not advance
+
+    def test_violation_attributed_to_offending_user(self):
+        m = self._requested(2)
+        m.recv_upload(0)
+        try:
+            m.recv_upload(0)
+        except ProtocolStateError as exc:
+            assert exc.party == "user:0"
+        else:
+            pytest.fail("expected ProtocolStateError")

@@ -1,0 +1,160 @@
+"""Unit tests for the inbound validation layer."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.crypto.paillier import Ciphertext, generate_keypair
+from repro.errors import GuardError, InboundValidationError
+from repro.geometry.point import Point
+from repro.geometry.space import LocationSpace
+from repro.guard.validate import (
+    check_ciphertext,
+    check_ciphertext_vector,
+    check_finite_point,
+    check_location_set,
+    check_plaintext,
+    check_position,
+)
+
+
+@pytest.fixture(scope="module")
+def pk(tiny_keypair):
+    return tiny_keypair.public_key
+
+
+class TestCheckCiphertext:
+    def test_honest_ciphertext_passes(self, pk, rng):
+        c = pk.encrypt(42, rng=rng)
+        assert check_ciphertext(c, pk, 1) is c
+
+    def test_non_ciphertext_rejected(self, pk):
+        with pytest.raises(InboundValidationError, match="not a ciphertext"):
+            check_ciphertext(12345, pk, 1)
+
+    def test_foreign_key_rejected(self, pk, rng):
+        other = generate_keypair(128, seed=999).public_key
+        c = other.encrypt(1, rng=rng)
+        with pytest.raises(InboundValidationError, match="different public key"):
+            check_ciphertext(c, pk, 1)
+
+    def test_level_tag_mismatch_rejected(self, pk, rng):
+        c = pk.encrypt(1, s=2, rng=rng)
+        with pytest.raises(InboundValidationError, match="level tag"):
+            check_ciphertext(c, pk, 1)
+
+    def test_zero_value_rejected(self, pk):
+        # Placed directly: Ciphertext itself doesn't police the residue.
+        c = Ciphertext(0, 1, pk)
+        with pytest.raises(InboundValidationError, match="outside"):
+            check_ciphertext(c, pk, 1)
+
+    def test_non_canonical_residue_rejected(self, pk, rng):
+        honest = pk.encrypt(3, rng=rng)
+        shifted = Ciphertext(honest.value + pk.ciphertext_modulus(1), 1, pk)
+        with pytest.raises(InboundValidationError, match="outside"):
+            check_ciphertext(shifted, pk, 1)
+
+    def test_non_unit_rejected(self, pk):
+        # A multiple of N shares a factor with the modulus: not in Z*.
+        c = Ciphertext(pk.n, 1, pk)
+        with pytest.raises(InboundValidationError, match="not a unit"):
+            check_ciphertext(c, pk, 1)
+
+    def test_error_carries_round_and_party(self, pk):
+        try:
+            check_ciphertext(None, pk, 1, round_id=7, party="lsp")
+        except InboundValidationError as exc:
+            assert exc.round_id == 7
+            assert exc.party == "lsp"
+            assert isinstance(exc, GuardError)
+        else:
+            pytest.fail("expected InboundValidationError")
+
+
+class TestCheckCiphertextVector:
+    def test_length_mismatch_rejected(self, pk, rng):
+        vec = [pk.encrypt(0, rng=rng)]
+        with pytest.raises(InboundValidationError, match="expected 2"):
+            check_ciphertext_vector(vec, 2, pk, 1)
+
+    def test_bad_element_named_by_index(self, pk, rng):
+        vec = [pk.encrypt(0, rng=rng), Ciphertext(pk.n, 1, pk)]
+        with pytest.raises(InboundValidationError, match=r"\[1\]"):
+            check_ciphertext_vector(vec, 2, pk, 1, what="indicator")
+
+    def test_honest_vector_passes(self, pk, rng):
+        vec = [pk.encrypt(i, rng=rng) for i in range(3)]
+        check_ciphertext_vector(vec, 3, pk, 1)
+
+
+class TestCheckFinitePoint:
+    def test_honest_point_passes(self):
+        p = Point(0.25, 0.75)
+        assert check_finite_point(p) is p
+
+    @pytest.mark.parametrize("bad", [math.nan, math.inf, -math.inf])
+    @pytest.mark.parametrize("axis", [0, 1])
+    def test_non_finite_rejected(self, bad, axis):
+        coords = [0.5, 0.5]
+        coords[axis] = bad
+        with pytest.raises(InboundValidationError, match="non-finite"):
+            check_finite_point(Point(*coords))
+
+    def test_outside_space_rejected(self, space):
+        with pytest.raises(InboundValidationError, match="outside"):
+            check_finite_point(Point(1.5, 0.5), space=space)
+
+    def test_non_point_rejected(self):
+        with pytest.raises(InboundValidationError, match="not a Point"):
+            check_finite_point((0.5, 0.5))
+
+
+class TestCheckLocationSet:
+    def test_short_set_rejected(self, space):
+        pts = (Point(0.1, 0.1), Point(0.2, 0.2))
+        with pytest.raises(InboundValidationError, match="expected 3"):
+            check_location_set(pts, 3, space)
+
+    def test_poisoned_entry_named(self, space):
+        pts = (Point(0.1, 0.1), Point(math.nan, 0.5), Point(0.2, 0.2))
+        with pytest.raises(InboundValidationError, match=r"location\[1\]"):
+            check_location_set(pts, 3, space)
+
+    def test_honest_set_passes(self, space):
+        pts = tuple(Point(0.1 * i, 0.1 * i) for i in range(4))
+        check_location_set(pts, 4, space)
+
+
+class TestCheckPosition:
+    def test_in_range_passes(self):
+        assert check_position(3, 8) == 3
+
+    @pytest.mark.parametrize("bad", [-1, 8, 10**6])
+    def test_out_of_range_rejected(self, bad):
+        with pytest.raises(InboundValidationError, match="outside"):
+            check_position(bad, 8)
+
+    @pytest.mark.parametrize("bad", [True, 2.0, "3", None])
+    def test_non_int_rejected(self, bad):
+        with pytest.raises(InboundValidationError, match="not an integer"):
+            check_position(bad, 8)
+
+
+class TestCheckPlaintext:
+    def test_in_range_passes(self, pk):
+        assert check_plaintext(0, pk) == 0
+        assert check_plaintext(pk.plaintext_modulus(1) - 1, pk) is not None
+
+    def test_out_of_range_rejected(self, pk):
+        with pytest.raises(InboundValidationError, match="outside"):
+            check_plaintext(pk.plaintext_modulus(1), pk)
+        with pytest.raises(InboundValidationError, match="outside"):
+            check_plaintext(-1, pk)
+
+    def test_level_two_bound(self, pk):
+        check_plaintext(pk.plaintext_modulus(1), pk, s=2)
+        with pytest.raises(InboundValidationError):
+            check_plaintext(pk.plaintext_modulus(2), pk, s=2)

@@ -154,7 +154,7 @@ class TestPlacement:
             plan = layout.plan_placement(rng)
             size = layout.params.segment_sizes[plan.segment]
             offset = layout.segment_offset(plan.segment)
-            for x, pos in zip(plan.relative_positions, plan.absolute_positions):
+            for x, pos in zip(plan.relative_positions, plan.absolute_positions, strict=True):
                 assert 0 <= x < size
                 assert pos == offset + x
 

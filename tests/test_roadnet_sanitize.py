@@ -77,7 +77,7 @@ class TestRoadSanitizer:
         rng = np.random.default_rng(3)
         xs, ys = network.space.sample_arrays(50, rng)
         snapped = sanitizer._snap_samples(xs, ys)
-        for x, y, node_idx in zip(xs, ys, snapped):
+        for x, y, node_idx in zip(xs, ys, snapped, strict=True):
             true_node = network.snap(Point(float(x), float(y)))
             approx_point = network.node_point(sanitizer._nodes[int(node_idx)])
             true_point = network.node_point(true_node)
