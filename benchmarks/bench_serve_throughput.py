@@ -1,0 +1,109 @@
+"""Serving-engine throughput: worker pool vs serial, shared caches on.
+
+Runs one mixed workload through :class:`repro.serve.ServeEngine` twice —
+serial executor, then the multiprocessing pool — at the paper-adjacent
+512-bit key size, and records throughput plus cache statistics to
+``BENCH_serve.json`` (git-SHA/keysize/config stamped).
+
+The >= 2x speedup assertion only arms on hosts with at least 4 cores:
+the pool cannot beat serial on a single-core container, but the numbers
+are recorded either way so the report stays honest about where it ran.
+"""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+from repro.serve import ServeConfig, ServeEngine, WorkloadSpec, generate_workload
+
+KEYSIZE = 512
+WORKERS = 4
+
+SPEC = WorkloadSpec(
+    queries=24,
+    rate_qps=50.0,
+    protocol_mix={"ppgnn": 2.0, "ppgnn-opt": 1.0, "naive": 1.0},
+    group_size_mix={2: 1.0, 3: 1.0},
+    k_mix={4: 1.0},
+    tenants=("tenant-0", "tenant-1"),
+    groups=8,
+    repeat_fraction=0.35,
+    seed=20180326,
+)
+
+
+@pytest.fixture(scope="module")
+def serve_runs(lsp, settings):
+    from conftest import make_config
+
+    config = make_config(settings, d=4, delta=8, k=4, keysize=KEYSIZE)
+    workload = generate_workload(SPEC, lsp.space)
+    runs = {}
+    for executor in ("serial", "process"):
+        serve = ServeConfig(
+            workers=WORKERS, executor=executor, policy="fifo", knn_cache_size=128
+        )
+        runs[executor] = ServeEngine(lsp, config, serve).run(workload)
+    return config, runs
+
+
+def test_serve_throughput(serve_runs, recorder):
+    config, runs = serve_runs
+    serial, pooled = runs["serial"], runs["process"]
+    speedup = (
+        pooled.wall_qps / serial.wall_qps if serial.wall_qps > 0 else 0.0
+    )
+    cores = os.cpu_count() or 1
+    recorder.record_json(
+        "serve",
+        {
+            "cores": cores,
+            "workers": WORKERS,
+            "queries": SPEC.queries,
+            "serial": serial.to_dict(include_wall=True),
+            "process": pooled.to_dict(include_wall=True),
+            "pool_speedup": round(speedup, 3),
+        },
+        keysize=KEYSIZE,
+        config={
+            "d": config.d,
+            "delta": config.delta,
+            "k": config.k,
+            "workers": WORKERS,
+            "policy": "fifo",
+            "repeat_fraction": SPEC.repeat_fraction,
+            "seed": SPEC.seed,
+        },
+    )
+    recorder.note(
+        "serve",
+        f"pool speedup {speedup:.2f}x on {cores} cores "
+        f"({serial.wall_qps:.2f} -> {pooled.wall_qps:.2f} qps wall)",
+    )
+
+    # Everything below holds on any host.
+    assert serial.completed == SPEC.queries
+    assert pooled.completed == SPEC.queries
+    assert serial.answers_digest == pooled.answers_digest
+    assert pooled.cache["hits"] > 0  # repeats actually hit the kNN cache
+    assert pooled.pool["pooled"] > 0  # indicators spent precomputed nonces
+
+    # The headline claim needs real parallel hardware.
+    if cores >= 4:
+        assert speedup >= 2.0, (
+            f"worker pool only reached {speedup:.2f}x on {cores} cores"
+        )
+    else:
+        pytest.skip(f"speedup assertion needs >= 4 cores (host has {cores})")
+
+
+def test_serve_report_deterministic(lsp, settings):
+    from conftest import make_config
+
+    config = make_config(settings, d=4, delta=8, k=4, keysize=KEYSIZE)
+    serve = ServeConfig(workers=WORKERS, policy="fifo", knn_cache_size=128)
+    one = ServeEngine(lsp, config, serve).run(generate_workload(SPEC, lsp.space))
+    two = ServeEngine(lsp, config, serve).run(generate_workload(SPEC, lsp.space))
+    assert one.to_dict() == two.to_dict()

@@ -4,14 +4,38 @@
 table into ``benchmarks/results/<experiment>.txt``; EXPERIMENTS.md quotes
 those files.  Each run overwrites its experiment's file (the recorder
 truncates on first write per experiment per session).
+
+Structured results go to ``BENCH_<experiment>.json`` via
+:meth:`SeriesRecorder.record_json`.  Every JSON document is stamped with
+its provenance — the git commit it ran at, the Paillier key size, and the
+full configuration dict — so a result file found months later is
+self-describing instead of guess-what-produced-this.
 """
 
 from __future__ import annotations
 
+import json
+import subprocess
 from pathlib import Path
-from typing import Sequence
+from typing import Mapping, Sequence
 
 from repro.bench.harness import print_series_table
+
+
+def git_sha(cwd: str | Path | None = None) -> str:
+    """The current commit hash, or ``"unknown"`` outside a git checkout."""
+    try:
+        out = subprocess.run(
+            ["git", "rev-parse", "HEAD"],
+            cwd=str(cwd) if cwd is not None else None,
+            capture_output=True,
+            text=True,
+            timeout=10,
+        )
+    except (OSError, subprocess.TimeoutExpired):
+        return "unknown"
+    sha = out.stdout.strip()
+    return sha if out.returncode == 0 and sha else "unknown"
 
 
 class SeriesRecorder:
@@ -46,6 +70,33 @@ class SeriesRecorder:
             if notes:
                 handle.write(f"note: {notes}\n")
             handle.write("\n")
+
+    def record_json(
+        self,
+        experiment: str,
+        results: Mapping | Sequence,
+        keysize: int | None = None,
+        config: Mapping | None = None,
+    ) -> Path:
+        """Write ``BENCH_<experiment>.json`` with a full provenance stamp.
+
+        ``results`` is the experiment's payload (must be JSON-encodable);
+        ``keysize`` and ``config`` record the parameters that produced it.
+        The file is overwritten wholesale — a BENCH json always describes
+        exactly one run.
+        """
+        path = self.directory / f"BENCH_{experiment}.json"
+        document = {
+            "experiment": experiment,
+            "git_sha": git_sha(self.directory),
+            "keysize": keysize,
+            "config": dict(config) if config is not None else {},
+            "results": results,
+        }
+        with open(path, "w") as handle:
+            json.dump(document, handle, indent=2, sort_keys=True)
+            handle.write("\n")
+        return path
 
     def note(self, experiment: str, text: str) -> None:
         """Append a free-form note line."""

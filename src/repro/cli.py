@@ -8,7 +8,10 @@ Installed as the ``repro`` console script:
 - ``repro attack``  — run the full-collusion inequality attack against a
   sanitized and an unsanitized answer, side by side,
 - ``repro solve``   — solve the partition parameters for an (n, d, delta)
-  triple (Eqns 7-10) and print the layout.
+  triple (Eqns 7-10) and print the layout,
+- ``repro serve-bench`` — run a seeded multi-session workload through the
+  :mod:`repro.serve` engine and print (optionally record) the serving
+  report.
 """
 
 from __future__ import annotations
@@ -85,6 +88,43 @@ def build_parser() -> argparse.ArgumentParser:
     solve.add_argument("--n", type=int, required=True)
     solve.add_argument("--d", type=int, required=True)
     solve.add_argument("--delta", type=int, required=True)
+
+    serve = sub.add_parser(
+        "serve-bench", help="run a serving workload and report throughput"
+    )
+    serve.add_argument("--pois", type=int, default=2_000, help="database size")
+    serve.add_argument("--queries", type=int, default=50, help="jobs to serve")
+    serve.add_argument("--groups", type=int, default=6, help="distinct query groups")
+    serve.add_argument("--d", type=int, default=4, help="Privacy I parameter")
+    serve.add_argument("--delta", type=int, default=8, help="Privacy II parameter")
+    serve.add_argument("--k", type=int, default=4, help="POIs to retrieve")
+    serve.add_argument("--keysize", type=int, default=256, help="Paillier bits")
+    serve.add_argument("--seed", type=int, default=1, help="workload seed")
+    serve.add_argument("--workers", type=int, default=2, help="serving workers")
+    serve.add_argument(
+        "--executor", default="serial", choices=["serial", "process"],
+        help="execution backend",
+    )
+    serve.add_argument(
+        "--policy", default="fifo", choices=["fifo", "shortest-cost", "fair-share"],
+        help="scheduling policy",
+    )
+    serve.add_argument("--rate", type=float, default=8.0, help="arrival rate (qps)")
+    serve.add_argument(
+        "--repeat-fraction", type=float, default=0.3,
+        help="probability a job re-issues an earlier query verbatim",
+    )
+    serve.add_argument(
+        "--fault-rate", type=float, default=0.0,
+        help="uniform drop/dup/reorder/corrupt rate (0 disables faults)",
+    )
+    serve.add_argument(
+        "--record", metavar="DIR", default=None,
+        help="write BENCH_serve.json into this directory",
+    )
+    serve.add_argument(
+        "--json", action="store_true", help="print the full report as JSON"
+    )
     return parser
 
 
@@ -169,11 +209,96 @@ def _cmd_solve(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_serve_bench(args: argparse.Namespace) -> int:
+    import json as json_module
+
+    from repro.serve import ServeConfig, ServeEngine, WorkloadSpec, generate_workload
+    from repro.transport.faults import FaultPlan
+
+    lsp = LSPServer(load_sequoia(args.pois), seed=args.seed)
+    config = PPGNNConfig(
+        d=args.d,
+        delta=args.delta,
+        k=args.k,
+        keysize=args.keysize,
+        key_seed=args.seed,
+        sanitation_samples=16,
+    )
+    spec = WorkloadSpec(
+        queries=args.queries,
+        rate_qps=args.rate,
+        protocol_mix={"ppgnn": 2.0, "ppgnn-opt": 1.0, "naive": 1.0},
+        group_size_mix={2: 1.0, 3: 1.0},
+        k_mix={args.k: 1.0},
+        tenants=("tenant-0", "tenant-1"),
+        groups=args.groups,
+        repeat_fraction=args.repeat_fraction,
+        seed=args.seed,
+    )
+    serve = ServeConfig(
+        workers=args.workers,
+        executor=args.executor,
+        policy=args.policy,
+        faults=FaultPlan.uniform(args.fault_rate, seed=args.seed)
+        if args.fault_rate > 0
+        else None,
+    )
+    workload = generate_workload(spec, lsp.space)
+    report = ServeEngine(lsp, config, serve).run(workload)
+    if args.json:
+        print(json_module.dumps(report.to_dict(include_wall=True), indent=2))
+    else:
+        print(
+            f"served {report.completed}/{report.queries} queries "
+            f"({report.failed} failed, {report.rejected} rejected) "
+            f"on {serve.workers} {serve.executor} workers [{serve.policy}]"
+        )
+        print(
+            f"simulated throughput: {report.throughput_qps:.2f} qps; "
+            f"wall-clock: {report.wall_qps:.2f} qps "
+            f"({format_seconds(report.wall_seconds)})"
+        )
+        print(
+            f"latency p50/p95/p99: {report.latency_p50:.3f}/"
+            f"{report.latency_p95:.3f}/{report.latency_p99:.3f} s simulated"
+        )
+        print(
+            f"kNN cache: {report.cache['hits']} hits / "
+            f"{report.cache['misses']} misses; nonce pool hit rate "
+            f"{report.pool['hit_rate']:.0%}"
+        )
+        if report.retransmissions:
+            print(f"transport: {report.retransmissions} retransmissions")
+    if args.record:
+        from repro.bench.recorder import SeriesRecorder
+
+        path = SeriesRecorder(args.record).record_json(
+            "serve",
+            report.to_dict(include_wall=True),
+            keysize=args.keysize,
+            config={
+                "pois": args.pois,
+                "queries": args.queries,
+                "groups": args.groups,
+                "workers": args.workers,
+                "executor": args.executor,
+                "policy": args.policy,
+                "rate_qps": args.rate,
+                "repeat_fraction": args.repeat_fraction,
+                "fault_rate": args.fault_rate,
+                "seed": args.seed,
+            },
+        )
+        print(f"recorded: {path}")
+    return 0
+
+
 _COMMANDS = {
     "info": _cmd_info,
     "query": _cmd_query,
     "attack": _cmd_attack,
     "solve": _cmd_solve,
+    "serve-bench": _cmd_serve_bench,
 }
 
 

@@ -56,15 +56,18 @@ def run_naive(
     config: PPGNNConfig,
     seed: int = 0,
     dummy_generator=None,
+    nonce_pool=None,
     transport: Transport | None = None,
     guard: ProtocolGuard | None = None,
 ) -> ProtocolResult:
     """Execute one Naive-solution round.
 
-    ``transport`` routes every message through a :mod:`repro.transport`
-    channel; None keeps the historical perfect in-memory network.
-    ``guard`` arms the hostile-input defenses of :mod:`repro.guard`; None
-    keeps the historical trusting behavior.
+    ``nonce_pool`` moves the delta-length indicator's obfuscation
+    exponentiations offline, exactly as in :func:`repro.core.group
+    .run_ppgnn`.  ``transport`` routes every message through a
+    :mod:`repro.transport` channel; None keeps the historical perfect
+    in-memory network.  ``guard`` arms the hostile-input defenses of
+    :mod:`repro.guard`; None keeps the historical trusting behavior.
     """
     n = len(locations)
     if n < 1:
@@ -87,13 +90,25 @@ def run_naive(
 
     with ledger.clock(COORDINATOR):
         plan = layout.plan_placement(rng)  # uniform over the delta slots
-        indicator = encrypt_indicator(
-            keypair.public_key,
-            config.delta,
-            plan.query_index,
-            rng=rng,
-            counter=ledger.counter(COORDINATOR),
-        )
+        if nonce_pool is not None:
+            from repro.crypto.noncepool import pooled_indicator
+
+            indicator = pooled_indicator(
+                nonce_pool,
+                config.delta,
+                plan.query_index,
+                rng=rng,
+                public_key=keypair.public_key,
+            )
+            ledger.counter(COORDINATOR).encryptions += config.delta
+        else:
+            indicator = encrypt_indicator(
+                keypair.public_key,
+                config.delta,
+                plan.query_index,
+                rng=rng,
+                counter=ledger.counter(COORDINATOR),
+            )
         request = GroupQueryRequest(
             k=config.k,
             public_key=keypair.public_key,

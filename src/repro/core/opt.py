@@ -85,14 +85,19 @@ def run_ppgnn_opt(
     seed: int = 0,
     omega: int | None = None,
     dummy_generator=None,
+    nonce_pool=None,
     transport: Transport | None = None,
     guard: ProtocolGuard | None = None,
 ) -> ProtocolResult:
     """Execute one PPGNN-OPT round (group sizes n >= 1).
 
     ``omega`` overrides the block count (the omega-sweep ablation uses it);
-    by default the exact integer optimum is chosen.  ``transport`` routes
-    every message through a :mod:`repro.transport` channel; None keeps the
+    by default the exact integer optimum is chosen.  ``nonce_pool`` (a
+    :class:`~repro.crypto.noncepool.NoncePool` under the group key) moves
+    the obfuscation exponentiations of *both* indicators offline — the
+    inner eps_1 vector and the outer eps_2 vector each consume one pooled
+    factor per ciphertext at their level.  ``transport`` routes every
+    message through a :mod:`repro.transport` channel; None keeps the
     historical perfect in-memory network.  ``guard`` arms the
     hostile-input defenses of :mod:`repro.guard`; None keeps the
     historical trusting behavior.
@@ -130,12 +135,25 @@ def run_ppgnn_opt(
         plan = layout.plan_placement(rng)
         block, within = split_indicator_index(plan.query_index, block_width)
         counter = ledger.counter(COORDINATOR)
-        inner = encrypt_indicator(
-            keypair.public_key, block_width, within, s=1, rng=rng, counter=counter
-        )
-        outer = encrypt_indicator(
-            keypair.public_key, block_count, block, s=2, rng=rng, counter=counter
-        )
+        if nonce_pool is not None:
+            from repro.crypto.noncepool import pooled_indicator
+
+            inner = pooled_indicator(
+                nonce_pool, block_width, within, s=1, rng=rng,
+                public_key=keypair.public_key,
+            )
+            outer = pooled_indicator(
+                nonce_pool, block_count, block, s=2, rng=rng,
+                public_key=keypair.public_key,
+            )
+            counter.encryptions += block_width + block_count
+        else:
+            inner = encrypt_indicator(
+                keypair.public_key, block_width, within, s=1, rng=rng, counter=counter
+            )
+            outer = encrypt_indicator(
+                keypair.public_key, block_count, block, s=2, rng=rng, counter=counter
+            )
         request = OptGroupQueryRequest(
             k=config.k,
             public_key=keypair.public_key,

@@ -19,6 +19,7 @@ from repro.core.lsp import LSPServer
 from repro.core.naive import run_naive
 from repro.core.opt import run_ppgnn_opt
 from repro.core.result import ProtocolResult
+from repro.crypto.noncepool import NoncePool
 from repro.errors import ConfigurationError
 from repro.geometry.point import Point
 from repro.guard.guard import ProtocolGuard
@@ -83,6 +84,12 @@ class QuerySession:
         A :class:`~repro.guard.guard.ProtocolGuard` arming the
         hostile-input defenses for every query; None (default) keeps the
         historical trusting behavior.
+    nonce_pool:
+        A :class:`~repro.crypto.noncepool.NoncePool` under the session key;
+        every query's indicator encryptions then spend precomputed
+        obfuscation factors.  Pools may be shared across sessions with the
+        same public key (the serving engine does exactly that); None keeps
+        the online-encryption behavior.
     """
 
     lsp: LSPServer
@@ -93,6 +100,7 @@ class QuerySession:
     history: list[ProtocolResult] = field(default_factory=list)
     max_history: int | None = 256
     guard: ProtocolGuard | None = None
+    nonce_pool: "NoncePool | None" = None
 
     def __post_init__(self) -> None:
         if self.protocol not in _RUNNERS:
@@ -112,14 +120,24 @@ class QuerySession:
         if self.max_history is not None and len(self.history) > self.max_history:
             del self.history[: len(self.history) - self.max_history]
 
-    def query(self, locations: Sequence[Point]) -> ProtocolResult:
-        """Run one group query and fold its costs into the session totals."""
+    def query(
+        self, locations: Sequence[Point], seed: int | None = None
+    ) -> ProtocolResult:
+        """Run one group query and fold its costs into the session totals.
+
+        ``seed`` overrides this query's randomness seed (default: the
+        session sequence ``self.seed + totals.queries``).  An explicit seed
+        lets a serving layer re-issue a query *verbatim* — same dummies,
+        same placement plan — which is what makes repeated queries
+        cache-servable; the totals still advance normally.
+        """
         runner = _RUNNERS[self.protocol]
         result = runner(
             self.lsp,
             locations,
             self.config,
-            seed=self.seed + self.totals.queries,
+            seed=self.seed + self.totals.queries if seed is None else seed,
+            nonce_pool=self.nonce_pool,
             guard=self.guard,
         )
         self.totals.add(result)

@@ -18,9 +18,38 @@ from __future__ import annotations
 
 import random
 from collections import defaultdict
+from dataclasses import dataclass
 
 from repro.crypto.paillier import Ciphertext, PaillierPublicKey
 from repro.errors import ConfigurationError, CryptoError
+
+
+@dataclass
+class PoolStats:
+    """Hit/miss accounting of one pool's lifetime.
+
+    ``pooled`` counts takes served from stock (the offline-work wins),
+    ``dry`` counts takes that found the pool empty (the caller fell back
+    to an online exponentiation), ``precomputed`` counts factors ever
+    produced by :meth:`NoncePool.refill`.
+    """
+
+    precomputed: int = 0
+    refills: int = 0
+    pooled: int = 0
+    dry: int = 0
+
+    @property
+    def hit_rate(self) -> float:
+        takes = self.pooled + self.dry
+        return self.pooled / takes if takes else 0.0
+
+    def merge(self, other: "PoolStats") -> None:
+        """Accumulate another pool's counters into this one."""
+        self.precomputed += other.precomputed
+        self.refills += other.refills
+        self.pooled += other.pooled
+        self.dry += other.dry
 
 
 class NoncePool:
@@ -29,6 +58,7 @@ class NoncePool:
     def __init__(self, public_key: PaillierPublicKey) -> None:
         self.public_key = public_key
         self._factors: dict[int, list[int]] = defaultdict(list)
+        self.stats = PoolStats()
 
     def available(self, s: int = 1) -> int:
         """How many factors remain at level ``s``."""
@@ -46,11 +76,72 @@ class NoncePool:
         for _ in range(count):
             r = pk.random_unit(rng)
             bucket.append(pow(r, exponent, mod))
+        self.stats.precomputed += count
+        self.stats.refills += 1
 
     def take(self, s: int = 1) -> int | None:
-        """Pop one factor, or None when the pool is dry."""
+        """Pop one factor, or None when the pool is dry.
+
+        A popped factor is *consumed*: it leaves the pool and can never be
+        handed out again, so two ciphertexts can only share an obfuscation
+        factor if ``refill`` drew the same unit twice (probability ~2^-keysize).
+        """
         bucket = self._factors[s]
-        return bucket.pop() if bucket else None
+        if bucket:
+            self.stats.pooled += 1
+            return bucket.pop()
+        self.stats.dry += 1
+        return None
+
+
+class NoncePoolRegistry:
+    """Per-public-key nonce pools shared by every session under that key.
+
+    The serving engine owns one registry; sessions whose groups share a key
+    pair (the common benchmark configuration) draw from one pool, so
+    offline precomputation is amortized across the whole fleet.  Refill
+    randomness is derived deterministically from the registry seed and a
+    refill counter, keeping serving runs replayable.
+    """
+
+    def __init__(self, seed: int = 0, chunk: int = 64) -> None:
+        if chunk < 1:
+            raise ConfigurationError("refill chunk must be positive")
+        self.seed = seed
+        self.chunk = chunk
+        self._pools: dict[PaillierPublicKey, NoncePool] = {}
+        self._refills = 0
+
+    def pool_for(self, public_key: PaillierPublicKey) -> NoncePool:
+        """The shared pool of one public key (created on first use)."""
+        pool = self._pools.get(public_key)
+        if pool is None:
+            pool = NoncePool(public_key)
+            self._pools[public_key] = pool
+        return pool
+
+    def ensure(self, public_key: PaillierPublicKey, count: int, s: int = 1) -> NoncePool:
+        """Top the key's pool up to ``count`` factors at level ``s``.
+
+        Refills happen in chunks of at least ``self.chunk`` — the batching
+        knob: one big refill amortizes better than many small ones when
+        several sessions drain the same pool.
+        """
+        pool = self.pool_for(public_key)
+        deficit = count - pool.available(s)
+        if deficit > 0:
+            self._refills += 1
+            rng = random.Random(self.seed * 1_000_003 + self._refills * 97 + s)
+            pool.refill(max(deficit, self.chunk), s=s, rng=rng)
+        return pool
+
+    @property
+    def stats(self) -> PoolStats:
+        """Counters aggregated over every pool in the registry."""
+        total = PoolStats()
+        for pool in self._pools.values():
+            total.merge(pool.stats)
+        return total
 
 
 def encrypt_with_pool(

@@ -34,6 +34,39 @@ from repro.crypto.primes import generate_distinct_primes
 from repro.errors import CryptoError
 
 
+def _extract_dlog(u: int, base: int, s: int) -> int:
+    """Discrete log of ``u`` to base ``1 + base`` modulo ``base^{s+1}``.
+
+    The Damgård–Jurik extraction recursion of [10], written over an
+    arbitrary modulus base so it serves both the classic path (``base = N``)
+    and the CRT fast path (``base = p`` and ``base = q`` separately, with
+    half-size arithmetic).  ``u`` must be congruent to 1 modulo ``base``;
+    the recursion rebuilds the base-``base`` digits of the exponent one
+    level at a time, correcting with binomial terms.
+    """
+    powers = [1] * (s + 2)
+    for j in range(1, s + 2):
+        powers[j] = powers[j - 1] * base
+    mod_s = powers[s]
+    inv_fact = [1] * (s + 1)
+    fact = 1
+    for k in range(2, s + 1):
+        fact *= k
+        inv_fact[k] = invmod(fact, mod_s)
+    m = 0
+    for j in range(1, s + 1):
+        mod_j = powers[j]
+        t1 = (u % powers[j + 1] - 1) // base  # the L function, exact
+        t2 = m
+        running = m
+        for k in range(2, j + 1):
+            running -= 1
+            t2 = t2 * running % mod_j
+            t1 = (t1 - t2 * powers[k - 1] % mod_j * inv_fact[k]) % mod_j
+        m = t1 % mod_j
+    return m
+
+
 @dataclass(frozen=True, slots=True)
 class Ciphertext:
     """A Damgård–Jurik ciphertext: a value in ``Z*_{N^{s+1}}``.
@@ -186,7 +219,7 @@ class PaillierPublicKey:
 class PaillierPrivateKey:
     """Secret key: the factorization of N, plus decryption precomputations."""
 
-    __slots__ = ("public_key", "p", "q", "lam", "_lam_inv_cache", "_crt")
+    __slots__ = ("public_key", "p", "q", "lam", "_lam_inv_cache", "_crt", "_crt_s")
 
     def __init__(self, public_key: PaillierPublicKey, p: int, q: int) -> None:
         if p * q != public_key.n:
@@ -199,6 +232,7 @@ class PaillierPrivateKey:
         self.lam = lcm(p - 1, q - 1)
         self._lam_inv_cache: dict[int, int] = {}
         self._crt: tuple[int, int, int, int, int] | None = None
+        self._crt_s: dict[int, tuple[int, int, int, int, int]] = {}
 
     def __repr__(self) -> str:
         return f"PaillierPrivateKey(bits={self.public_key.key_bits})"
@@ -218,42 +252,23 @@ class PaillierPrivateKey:
         ``m`` one level at a time, correcting with binomial terms (the
         published decryption algorithm of [10]).
         """
-        pk = self.public_key
-        n = pk.n
-        # Inverse factorials modulo N^s; reducing them modulo N^j keeps them
-        # correct for every level j <= s.
-        mod_s = pk.n_pow(s)
-        inv_fact = [1] * (s + 1)
-        fact = 1
-        for k in range(2, s + 1):
-            fact *= k
-            inv_fact[k] = invmod(fact, mod_s)
-        m = 0
-        for j in range(1, s + 1):
-            mod_j = pk.n_pow(j)
-            t1 = (u % pk.n_pow(j + 1) - 1) // n  # the L function, exact
-            t2 = m
-            running = m
-            for k in range(2, j + 1):
-                running -= 1
-                t2 = t2 * running % mod_j
-                t1 = (t1 - t2 * pk.n_pow(k - 1) % mod_j * inv_fact[k]) % mod_j
-            m = t1 % mod_j
-        return m
+        return _extract_dlog(u, self.public_key.n, s)
 
     def decrypt(self, c: Ciphertext, use_crt: bool = True) -> int:
         """Decrypt a level-``s`` ciphertext back to its plaintext in ``Z_{N^s}``.
 
-        For the workhorse level ``s = 1`` the CRT fast path is used by
-        default (half-size exponents and moduli per prime factor, the
-        standard Paillier optimization); pass ``use_crt=False`` to force
-        the generic Damgård–Jurik path — both are exact, and the CRT
-        ablation benchmark compares them.
+        The CRT fast path is used by default at every level: half-size
+        exponents and moduli per prime factor (the standard Paillier
+        optimization, generalized to Damgård–Jurik levels ``s >= 2``).
+        Pass ``use_crt=False`` to force the generic path — both are exact,
+        and the equivalence test compares them across s in {1, 2}.
         """
         if c.public_key != self.public_key:
             raise CryptoError("ciphertext was produced under a different key")
-        if use_crt and c.s == 1:
-            return self._decrypt_crt(c.value)
+        if use_crt:
+            if c.s == 1:
+                return self._decrypt_crt(c.value)
+            return self._decrypt_crt_level(c.value, c.s)
         mod_cipher = self.public_key.ciphertext_modulus(c.s)
         u = pow(c.value, self.lam, mod_cipher)
         m_lam = self._extract(u, c.s)
@@ -282,6 +297,37 @@ class PaillierPrivateKey:
         mq = (pow(value % q2, q - 1, q2) - 1) // q % q * hq % q
         # Garner recombination: m = mq + q * ((mp - mq) * q^-1 mod p).
         return (mq + q * ((mp - mq) * q_inv % p)) % self.public_key.n
+
+    def _crt_params_level(self, s: int) -> tuple[int, int, int, int, int]:
+        """(p^{s+1}, q^{s+1}, hp, hq, (q^s)^-1 mod p^s) for level ``s``.
+
+        ``hp`` inverts the combined generator/lambda term per prime:
+        ``c^{p-1} mod p^{s+1}`` equals ``(1+N)^{m(p-1)}`` (the nonce
+        component has order dividing ``p^s (p-1)`` and is annihilated by
+        the ``q^s`` factor hidden in ``N^s``), and its discrete log to
+        base ``1 + p`` is ``m * Dp mod p^s`` with the invertible constant
+        ``Dp = dlog_{1+p}((1+N)^{p-1})``.
+        """
+        params = self._crt_s.get(s)
+        if params is None:
+            p, q, n = self.p, self.q, self.public_key.n
+            ps1, qs1 = p ** (s + 1), q ** (s + 1)
+            ps, qs = p**s, q**s
+            hp = invmod(_extract_dlog(pow(1 + n, p - 1, ps1), p, s), ps)
+            hq = invmod(_extract_dlog(pow(1 + n, q - 1, qs1), q, s), qs)
+            params = (ps1, qs1, hp, hq, invmod(qs, ps))
+            self._crt_s[s] = params
+        return params
+
+    def _decrypt_crt_level(self, value: int, s: int) -> int:
+        """CRT decryption of a level-``s`` ciphertext value (any ``s >= 1``)."""
+        p, q = self.p, self.q
+        ps1, qs1, hp, hq, qs_inv = self._crt_params_level(s)
+        ps, qs = p**s, q**s
+        mp = _extract_dlog(pow(value % ps1, p - 1, ps1), p, s) * hp % ps
+        mq = _extract_dlog(pow(value % qs1, q - 1, qs1), q, s) * hq % qs
+        # Garner recombination modulo N^s = p^s * q^s.
+        return mq + qs * ((mp - mq) * qs_inv % ps)
 
     def decrypt_nested(self, c: Ciphertext) -> int:
         """Decrypt a doubly encrypted value: ``Dec_1(Dec_2(c))``.

@@ -161,3 +161,41 @@ class GroupMemberLostError(TransportError, ProtocolError):
         super().__init__(
             f"group member {party} unreachable after {attempts} attempts"
         )
+
+
+class BackpressureError(ReproError):
+    """The serving engine refused to accept more work.
+
+    Base class for admission-control rejections in :mod:`repro.serve`; a
+    rejected query is never silently dropped — the engine counts it and
+    surfaces one of the subclasses below in the serving report.
+    """
+
+
+class QueueFullError(BackpressureError):
+    """A bounded scheduler queue is at capacity.
+
+    Carries the queue ``depth`` at rejection time and the configured
+    ``capacity`` so operators can size queues from the report.
+    """
+
+    def __init__(self, depth: int, capacity: int) -> None:
+        self.depth = depth
+        self.capacity = capacity
+        super().__init__(f"queue full: {depth} waiting against capacity {capacity}")
+
+
+class AdmissionRejectedError(BackpressureError):
+    """Admission control turned a query away before it reached the queue.
+
+    ``tenant`` names the over-quota tenant and ``in_flight`` its
+    admitted-but-unfinished query count at rejection time.
+    """
+
+    def __init__(self, tenant: str, in_flight: int, limit: int) -> None:
+        self.tenant = tenant
+        self.in_flight = in_flight
+        self.limit = limit
+        super().__init__(
+            f"tenant {tenant!r} over quota: {in_flight} in flight, limit {limit}"
+        )

@@ -64,9 +64,17 @@ class GNNQueryEngine:
         self._by_id = {poi.poi_id: poi for poi in pois}
         if len(self._by_id) != len(pois):
             raise ConfigurationError("duplicate poi_id values in the database")
+        #: Optional exact-match kGNN result cache (see repro.serve.cache).
+        #: None keeps the historical uncached behavior.
+        self.knn_cache = None
 
     def __len__(self) -> int:
         return len(self.tree)
+
+    @property
+    def pois(self) -> tuple[POI, ...]:
+        """The live database rows in id order (replica-building snapshot)."""
+        return tuple(self._by_id[pid] for pid in sorted(self._by_id))
 
     def poi_by_id(self, poi_id: int) -> POI:
         """Resolve a POI id (used when decoding transmitted answers)."""
@@ -75,15 +83,46 @@ class GNNQueryEngine:
         except KeyError:
             raise ConfigurationError(f"unknown poi_id {poi_id}") from None
 
+    def set_knn_cache(self, cache) -> None:
+        """Install (or remove, with None) an exact-match kGNN result cache.
+
+        The cache key includes the R-tree's mutation version, so entries
+        created before an :meth:`insert`/:meth:`delete` can never serve a
+        stale answer afterwards.
+        """
+        self.knn_cache = cache
+
     def query(self, k: int, locations: Sequence[Point]) -> list[POI]:
         """Definition 2.1: the top-``k`` POIs by ascending F, exactly.
 
-        ``k`` is capped at the database size, mirroring ``k <= D``.
+        ``k`` is capped at the database size, mirroring ``k <= D``.  With a
+        cache installed, a verbatim repeat of an earlier query (same tree
+        version, same k, same locations) is served from memory; results are
+        identical to the uncached path by construction of the exact key.
         """
         k = min(k, len(self.tree))
-        return [
+        cache = self.knn_cache
+        if cache is None:
+            return [
+                poi for _, poi, _ in self._kgnn(self.tree, locations, k, self.aggregate)
+            ]
+        from repro.serve.cache import knn_cache_key
+
+        key = knn_cache_key(
+            self.tree.version,
+            self.algorithm,
+            self.aggregate.name,
+            k,
+            locations,
+        )
+        hit = cache.lookup(key)
+        if hit is not None:
+            return list(hit)
+        result = [
             poi for _, poi, _ in self._kgnn(self.tree, locations, k, self.aggregate)
         ]
+        cache.store(key, tuple(result))
+        return result
 
     def query_scored(
         self, k: int, locations: Sequence[Point]

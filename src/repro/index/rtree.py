@@ -92,6 +92,10 @@ class RTree(SpatialIndex):
         self.split_strategy = split
         self.root = _Node(is_leaf=True)
         self._count = 0
+        #: Monotone mutation counter.  Every content change (insert, delete,
+        #: bulk load) bumps it, so result caches keyed on ``(version, query)``
+        #: invalidate automatically when the database moves under them.
+        self.version = 0
 
     # ------------------------------------------------------------------ basic
 
@@ -120,6 +124,7 @@ class RTree(SpatialIndex):
     # ----------------------------------------------------------------- insert
 
     def insert(self, location: Point, item: Any) -> None:
+        self.version += 1
         leaf_rect = Rect.from_point(location)
         leaf = self._choose_leaf(self.root, leaf_rect)
         leaf.points.append(location)
@@ -278,6 +283,7 @@ class RTree(SpatialIndex):
 
     def bulk_load(self, items: Iterable[tuple[Point, Any]]) -> None:
         """Sort-Tile-Recursive construction; replaces the current contents."""
+        self.version += 1
         pairs = list(items)
         if not pairs:
             self.root = _Node(is_leaf=True)
@@ -332,6 +338,7 @@ class RTree(SpatialIndex):
         found = self._find_leaf(self.root, location, item, [])
         if found is None:
             return False
+        self.version += 1
         leaf, path = found
         idx = next(
             i

@@ -1,0 +1,303 @@
+"""Execution backends: per-bucket runners, serial or multiprocessing.
+
+Jobs are routed to buckets by ``group_id % workers``, so every query of a
+group executes in the same bucket, in planned start order.  A bucket is a
+self-contained serving cell: its own LSP replica, its own session table,
+its own shared nonce-pool registry and kNN result cache.  Because the
+bucket assignment and the within-bucket order depend only on the plan —
+never on the execution backend — the serial and multiprocessing executors
+produce *identical* outcomes and cache/pool statistics; processes only
+shrink wall-clock time.
+
+:class:`LSPSpec` is the picklable recipe a worker process uses to rebuild
+its LSP replica (POIs, space, sanitation knobs).  Real crypto runs here —
+the simulated clock of :mod:`repro.serve.engine` never consults these
+timings.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field, replace
+
+from repro.core.common import group_keypair
+from repro.core.config import PPGNNConfig
+from repro.core.lsp import LSPServer
+from repro.core.opt import optimal_omega
+from repro.core.session import QuerySession
+from repro.crypto.noncepool import NoncePoolRegistry, PoolStats
+from repro.datasets.poi import POI
+from repro.errors import ReproError
+from repro.geometry.space import LocationSpace
+from repro.guard.guard import ProtocolGuard
+from repro.partition.solver import solve_partition
+from repro.serve.cache import CacheStats, KnnLRUCache
+from repro.serve.workload import GroupProfile, QueryJob
+from repro.transport.channel import FaultyChannel
+from repro.transport.faults import FaultPlan
+from repro.transport.session import ResilientSession
+
+_PROTOCOL_INDEX = {"ppgnn": 0, "ppgnn-opt": 1, "naive": 2}
+
+
+@dataclass(frozen=True)
+class LSPSpec:
+    """Everything needed to rebuild an equivalent LSP in another process."""
+
+    pois: tuple[POI, ...]
+    space: LocationSpace
+    aggregate_name: str = "sum"
+    gamma: float = 0.05
+    eta: float = 0.2
+    phi: float = 0.1
+    sanitation_samples: int | None = None
+
+    @classmethod
+    def from_lsp(cls, lsp: LSPServer) -> "LSPSpec":
+        return cls(
+            pois=tuple(lsp.engine.pois),
+            space=lsp.space,
+            aggregate_name=lsp.aggregate.name,
+            gamma=lsp.gamma,
+            eta=lsp.eta,
+            phi=lsp.phi,
+            sanitation_samples=lsp.sanitation_samples,
+        )
+
+    def build(self) -> LSPServer:
+        return LSPServer(
+            pois=list(self.pois),
+            space=self.space,
+            aggregate_name=self.aggregate_name,
+            gamma=self.gamma,
+            eta=self.eta,
+            phi=self.phi,
+            sanitation_samples=self.sanitation_samples,
+        )
+
+
+@dataclass(frozen=True)
+class RunnerOptions:
+    """Picklable per-bucket execution knobs (a slice of ``ServeConfig``)."""
+
+    nonce_pool: bool = True
+    nonce_seed: int = 0
+    nonce_chunk: int = 64
+    knn_cache_size: int | None = 256
+    faults: FaultPlan | None = None
+    guard: bool = False
+    deadline_seconds: float | None = None
+
+
+@dataclass(frozen=True, slots=True)
+class JobOutcome:
+    """What one executed job produced (picklable, wall-time-free).
+
+    ``answer_ids`` and ``comm_bytes`` are the determinism-bearing fields:
+    they must match a direct :class:`~repro.core.session.QuerySession` run
+    of the same job byte for byte.
+    """
+
+    job_id: int
+    tenant: str
+    group_id: int
+    protocol: str
+    ok: bool
+    answer_ids: tuple[int, ...] = ()
+    comm_bytes: int = 0
+    error_type: str | None = None
+    error: str | None = None
+
+
+@dataclass
+class BucketStats:
+    """Shared-resource counters of one bucket, merged into the report."""
+
+    pool: PoolStats = field(default_factory=PoolStats)
+    cache: CacheStats = field(default_factory=CacheStats)
+    retransmissions: int = 0
+    corrupt_rejected: int = 0
+
+    def merge(self, other: "BucketStats") -> None:
+        self.pool.merge(other.pool)
+        self.cache.merge(other.cache)
+        self.retransmissions += other.retransmissions
+        self.corrupt_rejected += other.corrupt_rejected
+
+
+class BucketRunner:
+    """Executes one bucket's jobs against one LSP replica.
+
+    Sessions are keyed ``(group_id, protocol, k)`` — a group that issues
+    the same query shape repeatedly reuses one key pair and one session,
+    the amortized-setup model of :class:`QuerySession`.  All sessions of a
+    bucket share the runner's nonce-pool registry (per-public-key pools)
+    and its LSP-side kNN cache.
+    """
+
+    def __init__(
+        self,
+        lsp: LSPServer,
+        base_config: PPGNNConfig,
+        options: RunnerOptions,
+    ) -> None:
+        self.lsp = lsp
+        self.base_config = base_config
+        self.options = options
+        self.registry = (
+            NoncePoolRegistry(seed=options.nonce_seed, chunk=options.nonce_chunk)
+            if options.nonce_pool
+            else None
+        )
+        if options.knn_cache_size is not None:
+            lsp.engine.set_knn_cache(KnnLRUCache(options.knn_cache_size))
+        self._sessions: dict[tuple[int, str, int], QuerySession] = {}
+        self._guard = (
+            ProtocolGuard(deadline_seconds=options.deadline_seconds)
+            if options.guard
+            else None
+        )
+
+    # ------------------------------------------------------------- sessions
+
+    def _session(self, job: QueryJob, config: PPGNNConfig) -> QuerySession:
+        key = (job.group_id, job.protocol, job.k)
+        session = self._sessions.get(key)
+        if session is not None:
+            return session
+        kwargs = dict(
+            lsp=self.lsp,
+            config=config,
+            protocol=job.protocol,
+            seed=job.seed,
+            max_history=1,
+            guard=self._guard,
+        )
+        if self.options.faults is not None:
+            # One independent fault stream per session, derived from the
+            # plan seed and the session key so replays are exact.
+            plan = replace(
+                self.options.faults,
+                seed=self.options.faults.seed * 7919
+                + job.group_id * 31
+                + _PROTOCOL_INDEX[job.protocol] * 7
+                + job.k,
+            )
+            session = ResilientSession(channel=FaultyChannel(plan), **kwargs)
+        else:
+            session = QuerySession(**kwargs)
+        if self.registry is not None:
+            keypair = group_keypair(config)
+            session.nonce_pool = self.registry.pool_for(keypair.public_key)
+        self._sessions[key] = session
+        return session
+
+    def _top_up_pool(self, job: QueryJob, config: PPGNNConfig, n: int) -> None:
+        """Precompute exactly the factors the next round will spend."""
+        keypair = group_keypair(config)
+        if job.protocol == "naive":
+            self.registry.ensure(keypair.public_key, config.delta, s=1)
+            return
+        delta_prime = solve_partition(n, config.d, config.delta).delta_prime
+        if job.protocol == "ppgnn":
+            self.registry.ensure(keypair.public_key, delta_prime, s=1)
+        else:
+            omega = optimal_omega(delta_prime)
+            width = math.ceil(delta_prime / omega)
+            self.registry.ensure(keypair.public_key, width, s=1)
+            self.registry.ensure(keypair.public_key, omega, s=2)
+
+    # ------------------------------------------------------------ execution
+
+    def run_job(self, job: QueryJob, group: GroupProfile) -> JobOutcome:
+        config = (
+            self.base_config
+            if job.k == self.base_config.k
+            else replace(self.base_config, k=job.k)
+        )
+        session = self._session(job, config)
+        if self.registry is not None:
+            self._top_up_pool(job, config, len(group.locations))
+        # Pin the sanitation sampler to the job seed: a repeat re-runs the
+        # exact round (cache-servable), and bucket order alone decides the
+        # stream — identical under serial and multiprocessing execution.
+        self.lsp.reset_rng(job.seed)
+        try:
+            result = session.query(group.locations, seed=job.seed)
+        except ReproError as exc:
+            return JobOutcome(
+                job_id=job.job_id,
+                tenant=job.tenant,
+                group_id=job.group_id,
+                protocol=job.protocol,
+                ok=False,
+                error_type=type(exc).__name__,
+                error=str(exc),
+            )
+        return JobOutcome(
+            job_id=job.job_id,
+            tenant=job.tenant,
+            group_id=job.group_id,
+            protocol=job.protocol,
+            ok=True,
+            answer_ids=result.answer_ids,
+            comm_bytes=result.report.total_comm_bytes,
+        )
+
+    def stats(self) -> BucketStats:
+        stats = BucketStats()
+        if self.registry is not None:
+            stats.pool.merge(self.registry.stats)
+        cache = self.lsp.engine.knn_cache
+        if cache is not None:
+            stats.cache.merge(cache.stats)
+        for session in self._sessions.values():
+            transport = getattr(session, "transport", None)
+            if transport is not None:
+                stats.retransmissions += transport.stats.retransmissions
+                stats.corrupt_rejected += transport.stats.corrupt_rejected
+        return stats
+
+
+def _run_bucket(payload) -> tuple[list[JobOutcome], BucketStats]:
+    """Worker entry point: rebuild the cell, run its jobs in order."""
+    spec, base_config, options, groups, jobs = payload
+    runner = BucketRunner(spec.build(), base_config, options)
+    outcomes = [runner.run_job(job, groups[job.group_id]) for job in jobs]
+    return outcomes, runner.stats()
+
+
+def execute_buckets(
+    buckets: list[list[QueryJob]],
+    spec: LSPSpec,
+    base_config: PPGNNConfig,
+    options: RunnerOptions,
+    groups: tuple[GroupProfile, ...],
+    processes: int | None = None,
+) -> tuple[dict[int, JobOutcome], BucketStats]:
+    """Run every bucket, serially or across ``processes`` workers.
+
+    Returns outcomes keyed by job id plus bucket stats merged in bucket
+    order — both independent of the backend, by construction.
+    """
+    payloads = [
+        (spec, base_config, options, groups, jobs) for jobs in buckets if jobs
+    ]
+    if processes is not None and processes > 1 and len(payloads) > 1:
+        import multiprocessing as mp
+
+        try:
+            ctx = mp.get_context("fork")
+        except ValueError:  # pragma: no cover - non-POSIX fallback
+            ctx = mp.get_context("spawn")
+        with ctx.Pool(min(processes, len(payloads))) as pool:
+            results = pool.map(_run_bucket, payloads)
+    else:
+        results = [_run_bucket(payload) for payload in payloads]
+    outcomes: dict[int, JobOutcome] = {}
+    totals = BucketStats()
+    for bucket_outcomes, stats in results:
+        for outcome in bucket_outcomes:
+            outcomes[outcome.job_id] = outcome
+        totals.merge(stats)
+    return outcomes, totals

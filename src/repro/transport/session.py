@@ -64,24 +64,29 @@ class ResilientSession(QuerySession):
         """Cumulative reliability counters across the session's queries."""
         return self.transport.stats
 
-    def query(self, locations: Sequence[Point]) -> ProtocolResult:
+    def query(
+        self, locations: Sequence[Point], seed: int | None = None
+    ) -> ProtocolResult:
         """One group query over the channel, regrouping if allowed.
 
-        Raises a :class:`~repro.errors.TransportError` subclass when the
-        network defeats the retry budget — never a wrong answer.
+        ``seed`` overrides the query's randomness seed, as in
+        :meth:`QuerySession.query`.  Raises a
+        :class:`~repro.errors.TransportError` subclass when the network
+        defeats the retry budget — never a wrong answer.
         """
         runner = _RUNNERS[self.protocol]
         survivors = list(locations)
-        base_seed = self.seed + self.totals.queries
+        base_seed = self.seed + self.totals.queries if seed is None else seed
         round_number = 0
         while True:
-            seed = base_seed + _REGROUP_SEED_STRIDE * round_number
+            round_seed = base_seed + _REGROUP_SEED_STRIDE * round_number
             try:
                 result = runner(
                     self.lsp,
                     survivors,
                     self.config,
-                    seed=seed,
+                    seed=round_seed,
+                    nonce_pool=self.nonce_pool,
                     transport=self.transport,
                     guard=self.guard,
                 )

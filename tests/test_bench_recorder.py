@@ -40,3 +40,49 @@ class TestSeriesRecorder:
         target = tmp_path / "nested" / "dir"
         SeriesRecorder(target)
         assert target.is_dir()
+
+
+class TestRecordJson:
+    def test_stamps_sha_keysize_and_config(self, tmp_path):
+        import json
+
+        recorder = SeriesRecorder(tmp_path)
+        path = recorder.record_json(
+            "serve",
+            {"throughput_qps": 4.2},
+            keysize=512,
+            config={"workers": 4, "policy": "fifo"},
+        )
+        assert path == tmp_path / "BENCH_serve.json"
+        document = json.loads(path.read_text())
+        assert document["experiment"] == "serve"
+        assert document["keysize"] == 512
+        assert document["config"] == {"workers": 4, "policy": "fifo"}
+        assert document["results"] == {"throughput_qps": 4.2}
+        # tmp_path is outside any checkout, so the sha degrades gracefully.
+        assert document["git_sha"] == "unknown"
+
+    def test_overwrites_previous_run(self, tmp_path):
+        import json
+
+        recorder = SeriesRecorder(tmp_path)
+        recorder.record_json("serve", {"run": 1})
+        path = recorder.record_json("serve", {"run": 2})
+        assert json.loads(path.read_text())["results"] == {"run": 2}
+
+    def test_repo_checkout_yields_real_sha(self):
+        from repro.bench.recorder import git_sha
+
+        sha = git_sha(cwd=".")
+        assert sha == "unknown" or (
+            len(sha) == 40 and set(sha) <= set("0123456789abcdef")
+        )
+
+    def test_missing_config_defaults_empty(self, tmp_path):
+        import json
+
+        recorder = SeriesRecorder(tmp_path)
+        document = json.loads(recorder.record_json("bare", [1, 2, 3]).read_text())
+        assert document["config"] == {}
+        assert document["keysize"] is None
+        assert document["results"] == [1, 2, 3]

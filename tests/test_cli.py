@@ -84,3 +84,39 @@ class TestAttack:
         out = capsys.readouterr().out
         assert "without sanitation" in out
         assert "with sanitation" in out
+
+
+class TestServeBench:
+    ARGS = [
+        "serve-bench", "--pois", "300", "--queries", "8", "--groups", "3",
+        "--keysize", "128", "--seed", "3",
+    ]
+
+    def test_serve_bench_runs_and_reports(self, capsys):
+        assert run_cli(self.ARGS) == 0
+        out = capsys.readouterr().out
+        assert "served 8/8 queries" in out
+        assert "simulated throughput" in out
+        assert "kNN cache" in out
+
+    def test_serve_bench_records_json(self, capsys, tmp_path):
+        import json
+
+        assert run_cli([*self.ARGS, "--record", str(tmp_path)]) == 0
+        document = json.loads((tmp_path / "BENCH_serve.json").read_text())
+        assert document["keysize"] == 128
+        assert document["config"]["queries"] == 8
+        assert document["results"]["completed"] == 8
+        assert "wall_seconds" in document["results"]
+
+    def test_serve_bench_json_output(self, capsys):
+        import json
+
+        assert run_cli([*self.ARGS, "--json"]) == 0
+        report = json.loads(capsys.readouterr().out)
+        assert report["completed"] == 8
+        assert report["answers_digest"]
+
+    def test_serve_bench_with_faults(self, capsys):
+        assert run_cli([*self.ARGS, "--fault-rate", "0.05"]) == 0
+        assert "served 8/8" in capsys.readouterr().out

@@ -129,3 +129,81 @@ class TestNoncePool:
         online_time = time.perf_counter() - start
 
         assert pooled_time < online_time
+
+
+class TestPoolStatsAndSharing:
+    """Counters plus the never-reuse property of shared pools."""
+
+    def test_stats_count_pooled_and_dry_takes(self, kp):
+        _, pk = kp
+        pool = NoncePool(pk)
+        pool.refill(3, rng=random.Random(2))
+        assert pool.stats.precomputed == 3 and pool.stats.refills == 1
+        for _ in range(3):
+            assert pool.take() is not None
+        assert pool.take() is None
+        assert pool.stats.pooled == 3 and pool.stats.dry == 1
+        assert pool.stats.hit_rate == pytest.approx(0.75)
+
+    def test_registry_shares_one_pool_per_key(self, kp):
+        from repro.crypto.noncepool import NoncePoolRegistry
+
+        _, pk = kp
+        registry = NoncePoolRegistry(seed=9, chunk=8)
+        a = registry.ensure(pk, 4)
+        b = registry.pool_for(pk)
+        assert a is b
+        assert a.available() >= 4  # chunked refill tops up past the ask
+        other = generate_keypair(128, seed=31).public_key
+        assert registry.pool_for(other) is not a
+        assert registry.stats.precomputed == a.stats.precomputed
+
+    def test_registry_refills_are_deterministic(self, kp):
+        from repro.crypto.noncepool import NoncePoolRegistry
+
+        _, pk = kp
+
+        def drain(seed):
+            registry = NoncePoolRegistry(seed=seed, chunk=4)
+            pool = registry.ensure(pk, 4)
+            return [pool.take() for _ in range(4)]
+
+        assert drain(5) == drain(5)
+        assert drain(5) != drain(6)
+
+    @pytest.mark.parametrize("seed", [0, 1, 7])
+    def test_shared_pool_never_reuses_a_nonce(self, kp, seed):
+        """Interleaved sessions draining one pool never share a factor.
+
+        Simulates many concurrent sessions taking from (and occasionally
+        refilling) one shared pool in a random interleaving; every factor
+        handed out must be globally unique and every pooled ciphertext must
+        still decrypt to its plaintext.
+        """
+        sk, pk = kp
+        pool = NoncePool(pk)
+        rng = random.Random(seed)
+        pool.refill(6, rng=rng)
+        handed_out = []
+        original_take = pool.take
+
+        def spying_take(s=1):
+            factor = original_take(s)
+            if factor is not None:
+                handed_out.append(factor)
+            return factor
+
+        pool.take = spying_take
+        ciphertexts = []
+        plaintexts = []
+        for step in range(60):
+            if pool.available() < 2 and rng.random() < 0.5:
+                pool.refill(rng.randrange(1, 5), rng=rng)
+            m = rng.randrange(1 << 32)
+            c = encrypt_with_pool(pool, m, rng=rng, public_key=pk)
+            ciphertexts.append(c)
+            plaintexts.append(m)
+        assert len(handed_out) > 0
+        assert len(set(handed_out)) == len(handed_out), "a pooled factor was reused"
+        for m, c in zip(plaintexts, ciphertexts, strict=True):
+            assert sk.decrypt(c) == m

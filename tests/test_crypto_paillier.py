@@ -128,3 +128,33 @@ class TestGPower:
         _, pk = keypair
         clone = PaillierPublicKey(pk.n)
         assert clone == pk and hash(clone) == hash(pk)
+
+
+class TestCRTFastPath:
+    """The CRT decryption must agree with the generic Damgård–Jurik path."""
+
+    @pytest.mark.parametrize("s", [1, 2])
+    def test_crt_equivalence_across_levels(self, keypair, s):
+        sk, pk = keypair
+        rng = random.Random(20260806 + s)
+        mod = pk.plaintext_modulus(s)
+        plaintexts = [0, 1, mod - 1] + [rng.randrange(mod) for _ in range(20)]
+        for m in plaintexts:
+            c = pk.encrypt(m, s=s, rng=rng)
+            assert sk.decrypt(c, use_crt=True) == sk.decrypt(c, use_crt=False) == m
+
+    def test_crt_equivalence_fresh_key(self):
+        sk, pk = generate_keypair(192, seed=991)
+        rng = random.Random(5)
+        for s in (1, 2):
+            for _ in range(10):
+                m = rng.randrange(pk.plaintext_modulus(s))
+                c = pk.encrypt(m, s=s, rng=rng)
+                assert sk.decrypt(c, use_crt=True) == sk.decrypt(c, use_crt=False) == m
+
+    def test_nested_decryption_uses_exact_crt(self, keypair):
+        sk, pk = keypair
+        rng = random.Random(6)
+        inner = pk.encrypt(987654321, s=1, rng=rng)
+        outer = pk.encrypt(inner.value, s=2, rng=rng)
+        assert sk.decrypt_nested(outer) == 987654321

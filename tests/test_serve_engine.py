@@ -1,0 +1,236 @@
+"""The serving engine: identity with direct sessions, determinism, faults."""
+
+import numpy as np
+import pytest
+
+from repro.core.config import PPGNNConfig
+from repro.core.lsp import LSPServer
+from repro.core.session import QuerySession
+from repro.datasets.synthetic import uniform_pois
+from repro.errors import ConfigurationError
+from repro.geometry.space import LocationSpace
+from repro.serve import ServeConfig, ServeEngine, WorkloadSpec, generate_workload
+from repro.transport.faults import FaultPlan
+
+SAMPLES = 8  # small Monte-Carlo override keeps sanitation fast
+
+
+@pytest.fixture(scope="module")
+def space():
+    return LocationSpace.unit_square()
+
+
+@pytest.fixture(scope="module")
+def pois(space):
+    return uniform_pois(200, space, np.random.default_rng(7))
+
+
+@pytest.fixture(scope="module")
+def config():
+    return PPGNNConfig(d=4, delta=8, k=3, keysize=128, sanitation_samples=SAMPLES)
+
+
+@pytest.fixture
+def make_lsp(pois, space):
+    def build():
+        return LSPServer(pois, space=space, sanitation_samples=SAMPLES)
+
+    return build
+
+
+MIXED = WorkloadSpec(
+    queries=16,
+    rate_qps=10.0,
+    protocol_mix={"ppgnn": 1.0, "ppgnn-opt": 1.0, "naive": 1.0},
+    group_size_mix={2: 1.0, 3: 1.0},
+    k_mix={3: 1.0},
+    tenants=("a", "b"),
+    groups=4,
+    repeat_fraction=0.3,
+    seed=5,
+)
+
+
+class TestByteIdentity:
+    @pytest.mark.parametrize("protocol", ["ppgnn", "ppgnn-opt", "naive"])
+    def test_engine_equals_direct_session(self, protocol, make_lsp, config, space):
+        """A one-query engine run is byte-identical to a bare QuerySession."""
+        spec = WorkloadSpec(
+            queries=1,
+            protocol_mix={protocol: 1.0},
+            group_size_mix={3: 1.0},
+            k_mix={config.k: 1.0},
+            groups=1,
+            seed=9,
+        )
+        workload = generate_workload(spec, space)
+        job = workload.jobs[0]
+        engine = ServeEngine(
+            make_lsp(),
+            config,
+            ServeConfig(workers=1, nonce_pool=False, knn_cache_size=None),
+        )
+        outcome = engine.run(workload).outcomes[job.job_id]
+
+        lsp = make_lsp()
+        lsp.reset_rng(job.seed)
+        session = QuerySession(lsp=lsp, config=config, protocol=protocol, seed=job.seed)
+        direct = session.query(workload.groups[0].locations, seed=job.seed)
+        assert outcome.ok
+        assert outcome.answer_ids == direct.answer_ids
+        assert outcome.comm_bytes == direct.report.total_comm_bytes
+
+    def test_pooled_cached_run_same_answers(self, make_lsp, config, space):
+        """Nonce pools and the kNN cache are transparent to answers."""
+        workload = generate_workload(MIXED, space)
+        bare = ServeEngine(
+            make_lsp(),
+            config,
+            ServeConfig(workers=2, nonce_pool=False, knn_cache_size=None),
+        ).run(workload)
+        shared = ServeEngine(
+            make_lsp(),
+            config,
+            ServeConfig(workers=2, nonce_pool=True, knn_cache_size=64),
+        ).run(workload)
+        assert bare.answers_digest == shared.answers_digest
+        assert shared.cache["hits"] > 0
+        assert shared.pool["pooled"] > 0
+
+
+class TestDeterminism:
+    def test_two_runs_identical_reports(self, make_lsp, config, space):
+        serve = ServeConfig(workers=3, policy="shortest-cost", knn_cache_size=64)
+        one = ServeEngine(make_lsp(), config, serve).run(generate_workload(MIXED, space))
+        two = ServeEngine(make_lsp(), config, serve).run(generate_workload(MIXED, space))
+        assert one.to_dict() == two.to_dict()
+        assert one.wall_seconds != 0.0  # real work actually happened
+
+    def test_serial_and_process_reports_match(self, make_lsp, config, space):
+        """The executor only changes wall-clock, never the report."""
+        workload = generate_workload(MIXED, space)
+        serial = ServeEngine(
+            make_lsp(), config, ServeConfig(workers=2, executor="serial")
+        ).run(workload)
+        process = ServeEngine(
+            make_lsp(), config, ServeConfig(workers=2, executor="process")
+        ).run(workload)
+        a, b = serial.to_dict(), process.to_dict()
+        assert a.pop("executor") == "serial"
+        assert b.pop("executor") == "process"
+        assert a == b
+
+    def test_report_json_serializable(self, make_lsp, config, space):
+        import json
+
+        report = ServeEngine(make_lsp(), config, ServeConfig(workers=2)).run(
+            generate_workload(MIXED, space)
+        )
+        json.dumps(report.to_dict(include_wall=True))
+
+
+class TestSchedulingAndBackpressure:
+    def test_queue_overflow_counted_as_rejections(self, make_lsp, config, space):
+        spec = WorkloadSpec(queries=12, rate_qps=1000.0, groups=2, seed=2)
+        report = ServeEngine(
+            make_lsp(), config, ServeConfig(workers=1, queue_capacity=2)
+        ).run(generate_workload(spec, space))
+        assert report.rejected > 0
+        assert report.completed + report.rejected == report.queries
+        assert all(r.error_type == "QueueFullError" for r in report.rejections)
+
+    def test_tenant_quota_rejects_flood(self, make_lsp, config, space):
+        spec = WorkloadSpec(
+            queries=12, rate_qps=1000.0, tenants=("solo",), groups=2, seed=2
+        )
+        report = ServeEngine(
+            make_lsp(), config, ServeConfig(workers=1, tenant_quota=2)
+        ).run(generate_workload(spec, space))
+        assert report.rejected > 0
+        assert all(r.error_type == "AdmissionRejectedError" for r in report.rejections)
+        assert report.per_tenant["solo"]["rejected"] == report.rejected
+
+    def test_closed_loop_never_overflows(self, make_lsp, config, space):
+        """Closed-loop arrivals self-limit to the client concurrency."""
+        spec = WorkloadSpec(
+            queries=10, arrival="closed", concurrency=3, groups=2, seed=4
+        )
+        report = ServeEngine(
+            make_lsp(), config, ServeConfig(workers=2, queue_capacity=3)
+        ).run(generate_workload(spec, space))
+        assert report.rejected == 0
+        assert report.completed == 10
+        assert report.max_queue_depth <= 3
+
+    def test_shortest_cost_prefers_cheap_jobs(self, make_lsp, config, space):
+        """Under contention, SJF's mean latency beats FIFO's."""
+        spec = WorkloadSpec(
+            queries=12,
+            rate_qps=1000.0,  # everything arrives at once
+            protocol_mix={"ppgnn-opt": 1.0, "naive": 1.0},
+            groups=4,
+            seed=11,
+        )
+        workload = generate_workload(spec, space)
+        fifo = ServeEngine(
+            make_lsp(), config, ServeConfig(workers=1, policy="fifo")
+        ).run(workload)
+        sjf = ServeEngine(
+            make_lsp(), config, ServeConfig(workers=1, policy="shortest-cost")
+        ).run(workload)
+        assert sjf.latency_mean <= fifo.latency_mean
+        assert sjf.answers_digest == fifo.answers_digest  # policy never alters answers
+
+
+class TestFaultTolerance:
+    def test_fleet_survives_fault_injection(self, make_lsp, config, space):
+        plan = FaultPlan.uniform(0.05, seed=3)
+        serve = ServeConfig(workers=2, faults=plan, guard=True)
+        report = ServeEngine(make_lsp(), config, serve).run(
+            generate_workload(MIXED, space)
+        )
+        assert report.completed + report.failed == report.queries
+        assert report.retransmissions > 0  # the faults actually bit
+        again = ServeEngine(make_lsp(), config, serve).run(
+            generate_workload(MIXED, space)
+        )
+        assert report.to_dict() == again.to_dict()
+
+    def test_faults_cross_process_boundary(self, make_lsp, config, space):
+        """Fault plans must survive pickling into pool workers."""
+        spec = WorkloadSpec(queries=4, rate_qps=5.0, groups=2, seed=8)
+        serve = ServeConfig(
+            workers=2, executor="process", faults=FaultPlan.uniform(0.03, seed=6)
+        )
+        report = ServeEngine(make_lsp(), config, serve).run(
+            generate_workload(spec, space)
+        )
+        assert report.completed + report.failed == 4
+
+    def test_fault_free_answers_match_faulty_answers(self, make_lsp, config, space):
+        """Retries may cost bytes but never change what a query answers."""
+        spec = WorkloadSpec(queries=6, rate_qps=5.0, groups=2, seed=8)
+        workload = generate_workload(spec, space)
+        clean = ServeEngine(make_lsp(), config, ServeConfig(workers=1)).run(workload)
+        faulty = ServeEngine(
+            make_lsp(),
+            config,
+            ServeConfig(workers=1, faults=FaultPlan.uniform(0.03, seed=6)),
+        ).run(workload)
+        for job_id, outcome in faulty.outcomes.items():
+            if outcome.ok:
+                assert outcome.answer_ids == clean.outcomes[job_id].answer_ids
+
+
+class TestConfigValidation:
+    def test_bad_serve_config(self):
+        with pytest.raises(ConfigurationError):
+            ServeConfig(workers=0)
+        with pytest.raises(ConfigurationError):
+            ServeConfig(executor="threads")
+        with pytest.raises(ConfigurationError):
+            ServeConfig(policy="lifo")
+        with pytest.raises(ConfigurationError):
+            ServeConfig(queue_capacity=0)
+        with pytest.raises(ConfigurationError):
+            ServeConfig(tenant_quota=0)

@@ -1,0 +1,93 @@
+"""Scheduling policies: ordering, bounded queues, fairness."""
+
+import pytest
+
+from repro.errors import ConfigurationError, QueueFullError
+from repro.serve.scheduler import make_scheduler
+from repro.serve.workload import QueryJob
+
+
+def job(job_id: int, tenant: str = "t0") -> QueryJob:
+    return QueryJob(
+        job_id=job_id,
+        tenant=tenant,
+        group_id=0,
+        protocol="ppgnn",
+        k=3,
+        seed=job_id,
+        arrival_time=float(job_id),
+    )
+
+
+class TestBoundedQueue:
+    @pytest.mark.parametrize("policy", ["fifo", "shortest-cost", "fair-share"])
+    def test_overflow_raises_typed_backpressure(self, policy):
+        scheduler = make_scheduler(policy, capacity=2)
+        scheduler.submit(job(0), 1.0)
+        scheduler.submit(job(1), 1.0)
+        with pytest.raises(QueueFullError) as err:
+            scheduler.submit(job(2), 1.0)
+        assert err.value.depth == 2 and err.value.capacity == 2
+        # A pop frees a slot again.
+        assert scheduler.pop() is not None
+        scheduler.submit(job(2), 1.0)
+
+    def test_unknown_policy_and_bad_capacity(self):
+        with pytest.raises(ConfigurationError):
+            make_scheduler("lifo", 4)
+        with pytest.raises(ConfigurationError):
+            make_scheduler("fifo", 0)
+
+    @pytest.mark.parametrize("policy", ["fifo", "shortest-cost", "fair-share"])
+    def test_empty_pop_returns_none(self, policy):
+        assert make_scheduler(policy, 4).pop() is None
+
+
+class TestFIFO:
+    def test_serves_in_arrival_order(self):
+        scheduler = make_scheduler("fifo", 8)
+        for i, cost in enumerate([5.0, 1.0, 3.0]):
+            scheduler.submit(job(i), cost)
+        assert [scheduler.pop().job_id for _ in range(3)] == [0, 1, 2]
+
+
+class TestShortestCost:
+    def test_serves_cheapest_first(self):
+        scheduler = make_scheduler("shortest-cost", 8)
+        for i, cost in enumerate([5.0, 1.0, 3.0]):
+            scheduler.submit(job(i), cost)
+        assert [scheduler.pop().job_id for _ in range(3)] == [1, 2, 0]
+
+    def test_ties_break_on_job_id(self):
+        scheduler = make_scheduler("shortest-cost", 8)
+        for i in (2, 0, 1):
+            scheduler.submit(job(i), 1.0)
+        assert [scheduler.pop().job_id for _ in range(3)] == [0, 1, 2]
+
+
+class TestFairShare:
+    def test_alternates_between_tenants(self):
+        scheduler = make_scheduler("fair-share", 8)
+        for i in range(4):
+            scheduler.submit(job(i, tenant="a"), 1.0)
+        scheduler.submit(job(4, tenant="b"), 1.0)
+        scheduler.submit(job(5, tenant="b"), 1.0)
+        order = [scheduler.pop() for _ in range(6)]
+        tenants = [j.tenant for j in order]
+        # After each tenant has been served once, service alternates until
+        # b drains — a never gets two in a row while b still waits.
+        assert tenants[:4] in (["a", "b", "a", "b"], ["b", "a", "b", "a"])
+        assert [j.job_id for j in order if j.tenant == "a"] == [0, 1, 2, 3]
+
+    def test_expensive_tenant_yields(self):
+        scheduler = make_scheduler("fair-share", 8)
+        scheduler.submit(job(0, tenant="heavy"), 10.0)
+        scheduler.submit(job(1, tenant="heavy"), 10.0)
+        scheduler.submit(job(2, tenant="light"), 1.0)
+        scheduler.submit(job(3, tenant="light"), 1.0)
+        first = scheduler.pop()  # min served cost, tie broken by name
+        rest = [scheduler.pop().tenant for _ in range(3)]
+        # Once heavy has been served 10.0, light's two cheap jobs both go
+        # before heavy's second.
+        assert first.tenant == "heavy"
+        assert rest == ["light", "light", "heavy"]
