@@ -11,7 +11,10 @@ Installed as the ``repro`` console script:
   triple (Eqns 7-10) and print the layout,
 - ``repro serve-bench`` — run a seeded multi-session workload through the
   :mod:`repro.serve` engine and print (optionally record) the serving
-  report.
+  report,
+- ``repro trace`` — render a span tree: either from a recorded JSONL
+  trace (``--input``) or by running one traced query, flagging the
+  slowest path and printing the metric counters it published.
 """
 
 from __future__ import annotations
@@ -124,6 +127,33 @@ def build_parser() -> argparse.ArgumentParser:
     )
     serve.add_argument(
         "--json", action="store_true", help="print the full report as JSON"
+    )
+    serve.add_argument(
+        "--obs", action="store_true",
+        help="collect traces and metrics; embeds them in the report",
+    )
+    serve.add_argument(
+        "--trace-out", metavar="FILE", default=None,
+        help="write the merged span trace as JSONL (implies --obs)",
+    )
+
+    trace = sub.add_parser(
+        "trace", help="render a span tree from a trace file or a live query"
+    )
+    _add_common_query_args(trace)
+    trace.add_argument(
+        "--protocol",
+        default="ppgnn",
+        choices=sorted(_PROTOCOLS),
+        help="protocol variant to trace (live mode)",
+    )
+    trace.add_argument(
+        "--input", metavar="FILE", default=None,
+        help="render this JSONL trace instead of running a query",
+    )
+    trace.add_argument(
+        "--out", metavar="FILE", default=None,
+        help="also write the captured trace as JSONL (live mode)",
     )
     return parser
 
@@ -242,9 +272,16 @@ def _cmd_serve_bench(args: argparse.Namespace) -> int:
         faults=FaultPlan.uniform(args.fault_rate, seed=args.seed)
         if args.fault_rate > 0
         else None,
+        obs=args.obs or args.trace_out is not None,
     )
     workload = generate_workload(spec, lsp.space)
     report = ServeEngine(lsp, config, serve).run(workload)
+    if args.trace_out:
+        spans = (report.obs or {}).get("spans", [])
+        with open(args.trace_out, "w", encoding="utf-8") as fh:
+            for span in spans:
+                fh.write(json_module.dumps(span, sort_keys=True) + "\n")
+        print(f"trace: {len(spans)} spans -> {args.trace_out}")
     if args.json:
         print(json_module.dumps(report.to_dict(include_wall=True), indent=2))
     else:
@@ -293,12 +330,44 @@ def _cmd_serve_bench(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_trace(args: argparse.Namespace) -> int:
+    from repro.obs import Observability, parse_jsonl, render_span_tree
+
+    if args.input is not None:
+        with open(args.input, encoding="utf-8") as fh:
+            spans = parse_jsonl(fh.read())
+        print(render_span_tree(spans))
+        return 0
+
+    obs = Observability()
+    config = _build_config(args, sanitize=args.n > 1)
+    runner = _PROTOCOLS.get(args.protocol, run_ppgnn)
+    lsp = LSPServer(
+        load_sequoia(args.pois), aggregate_name=args.aggregate, seed=args.seed
+    )
+    group = random_group(max(args.n, 2), lsp.space, np.random.default_rng(args.seed))
+    runner(lsp, group, config, seed=args.seed, obs=obs)
+    if args.out:
+        with open(args.out, "w", encoding="utf-8") as fh:
+            fh.write(obs.tracer.export_jsonl() + "\n")
+        print(f"trace: {len(obs.tracer.spans())} spans -> {args.out}")
+    print(render_span_tree(obs.tracer.spans()))
+    snapshot = obs.snapshot()
+    if snapshot.counters:
+        print()
+        print("metrics:")
+        for name in sorted(snapshot.counters):
+            print(f"  {name} = {snapshot.counters[name]}")
+    return 0
+
+
 _COMMANDS = {
     "info": _cmd_info,
     "query": _cmd_query,
     "attack": _cmd_attack,
     "solve": _cmd_solve,
     "serve-bench": _cmd_serve_bench,
+    "trace": _cmd_trace,
 }
 
 

@@ -16,6 +16,7 @@ from repro.encoding.answers import AnswerCodec, DecodedAnswer
 from repro.errors import ConfigurationError
 from repro.geometry.point import Point
 from repro.geometry.space import LocationSpace
+from repro.obs import Observability, maybe_span
 from repro.protocol.messages import EncryptedAnswer
 from repro.protocol.metrics import COORDINATOR, CostLedger
 
@@ -71,6 +72,37 @@ def build_location_set(
     return tuple(dummies[:position]) + (real_location,) + tuple(dummies[position:])
 
 
+def publish_round(obs: "Observability", span, result, lsp) -> None:
+    """Stamp a finished round's costs onto its span and the metrics registry.
+
+    Called by the protocol runners when ``obs`` is armed, after the round
+    guard closed.  The span carries the *deterministic* per-round totals
+    (operation counts, communication bytes, the LSP's kGNN call count) —
+    the numbers the acceptance test compares against
+    :meth:`~repro.serve.costs.CostModel.predict_ops`.
+    """
+    ops = result.report.ops_by_role
+    encryptions = sum(c.encryptions for c in ops.values())
+    decryptions = sum(c.decryptions for c in ops.values())
+    scalar_muls = sum(c.scalar_muls for c in ops.values())
+    additions = sum(c.additions for c in ops.values())
+    stats = getattr(lsp, "last_stats", None)
+    kgnn_queries = stats.kgnn_queries if stats is not None else 0
+    span.set(
+        protocol=result.protocol,
+        encryptions=encryptions,
+        decryptions=decryptions,
+        scalar_muls=scalar_muls,
+        additions=additions,
+        kgnn_queries=kgnn_queries,
+        comm_bytes=result.report.total_comm_bytes,
+    )
+    obs.count("crypto.encryptions", encryptions)
+    obs.count("crypto.scalar_muls", scalar_muls)
+    obs.count("crypto.additions", additions)
+    obs.count("lsp.kgnn_queries", kgnn_queries)
+
+
 def decrypt_answer(
     keypair: KeyPair,
     codec: AnswerCodec,
@@ -78,23 +110,43 @@ def decrypt_answer(
     ledger: CostLedger,
     nested: bool = False,
     guard_round=None,
+    obs: "Observability | None" = None,
 ) -> list[DecodedAnswer]:
     """Coordinator-side answer decryption + decoding (charged to its clock).
 
     ``guard_round`` (a :class:`~repro.guard.guard.RoundGuard`) range-checks
     the decrypted plaintexts and attributes decode failures to the LSP;
-    None keeps the trusting decode path.
+    None keeps the trusting decode path.  ``obs`` records a
+    ``coordinator.decrypt`` span and splits the
+    ``crypto.decryptions.crt`` / ``.generic`` counters by the path each
+    decryption actually took.
     """
-    with ledger.clock(COORDINATOR):
-        counter = ledger.counter(COORDINATOR)
-        if nested:
-            integers = [
-                keypair.secret_key.decrypt_nested(c) for c in encrypted.ciphertexts
-            ]
-            counter.decryptions += 2 * len(encrypted.ciphertexts)
-        else:
-            integers = [keypair.secret_key.decrypt(c) for c in encrypted.ciphertexts]
-            counter.decryptions += len(encrypted.ciphertexts)
-        if guard_round is not None:
-            return guard_round.decode_plaintexts(codec, integers)
-        return codec.decode(integers)
+    with maybe_span(
+        obs, "coordinator.decrypt", ciphertexts=len(encrypted.ciphertexts)
+    ) as span:
+        with ledger.clock(COORDINATOR):
+            counter = ledger.counter(COORDINATOR)
+            crt = generic = 0
+            integers = []
+            if nested:
+                for c in encrypted.ciphertexts:
+                    value, paths = keypair.secret_key.decrypt_nested_with_path(c)
+                    integers.append(value)
+                    for path in paths:
+                        crt += path == "crt"
+                        generic += path == "generic"
+                counter.decryptions += 2 * len(encrypted.ciphertexts)
+            else:
+                for c in encrypted.ciphertexts:
+                    value, path = keypair.secret_key.decrypt_with_path(c)
+                    integers.append(value)
+                    crt += path == "crt"
+                    generic += path == "generic"
+                counter.decryptions += len(encrypted.ciphertexts)
+            if obs is not None:
+                obs.count("crypto.decryptions.crt", crt)
+                obs.count("crypto.decryptions.generic", generic)
+                span.set(crt=crt, generic=generic)
+            if guard_round is not None:
+                return guard_round.decode_plaintexts(codec, integers)
+            return codec.decode(integers)

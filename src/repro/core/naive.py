@@ -20,6 +20,7 @@ from repro.core.common import (
     decrypt_answer,
     derive_rngs,
     group_keypair,
+    publish_round,
 )
 from repro.core.config import PPGNNConfig
 from repro.core.lsp import LSPServer
@@ -29,6 +30,7 @@ from repro.encoding.answers import AnswerCodec
 from repro.errors import ConfigurationError
 from repro.geometry.point import Point
 from repro.guard.guard import ProtocolGuard, begin_round
+from repro.obs import Observability, maybe_span
 from repro.partition.layout import GroupLayout
 from repro.partition.solver import PartitionParameters
 from repro.protocol.messages import (
@@ -59,6 +61,7 @@ def run_naive(
     nonce_pool=None,
     transport: Transport | None = None,
     guard: ProtocolGuard | None = None,
+    obs: Observability | None = None,
 ) -> ProtocolResult:
     """Execute one Naive-solution round.
 
@@ -68,7 +71,31 @@ def run_naive(
     :mod:`repro.transport` channel; None keeps the historical perfect
     in-memory network.  ``guard`` arms the hostile-input defenses of
     :mod:`repro.guard`; None keeps the historical trusting behavior.
+    ``obs`` traces the round as a ``round.naive`` span and publishes the
+    crypto operation counters; None keeps the uninstrumented path
+    byte-identical.
     """
+    with maybe_span(obs, "round.naive", n=len(locations), seed=seed) as round_span:
+        result = _run_naive(
+            lsp, locations, config, seed, dummy_generator, nonce_pool,
+            transport, guard, obs,
+        )
+        if round_span is not None:
+            publish_round(obs, round_span, result, lsp)
+        return result
+
+
+def _run_naive(
+    lsp: LSPServer,
+    locations: Sequence[Point],
+    config: PPGNNConfig,
+    seed: int,
+    dummy_generator,
+    nonce_pool,
+    transport: Transport | None,
+    guard: ProtocolGuard | None,
+    obs: Observability | None,
+) -> ProtocolResult:
     n = len(locations)
     if n < 1:
         raise ConfigurationError("a group needs at least one user")
@@ -88,7 +115,7 @@ def run_naive(
         answer_m=codec.m,
     )
 
-    with ledger.clock(COORDINATOR):
+    with ledger.clock(COORDINATOR), maybe_span(obs, "coordinator.encrypt_query"):
         plan = layout.plan_placement(rng)  # uniform over the delta slots
         if nonce_pool is not None:
             from repro.crypto.noncepool import pooled_indicator
@@ -129,23 +156,30 @@ def run_naive(
     rg.request_delivered(request)
 
     uploads = []
-    for i, real in enumerate(locations):
-        with ledger.clock(USER):
-            # The naive cost driver: every user pads to delta locations.
-            location_set = build_location_set(
-                real, positions[i], config.delta, lsp.space, nprng, dummy_generator
-            )
-            upload = LocationSetUpload(i, location_set)
-        delivered = send(transport, ledger, f"user:{i}", LSP, upload)
-        rg.upload_delivered(delivered)
-        uploads.append(delivered)
+    with maybe_span(obs, "uploads", users=n):
+        for i, real in enumerate(locations):
+            with ledger.clock(USER):
+                # The naive cost driver: every user pads to delta locations.
+                location_set = build_location_set(
+                    real, positions[i], config.delta, lsp.space, nprng,
+                    dummy_generator,
+                )
+                upload = LocationSetUpload(i, location_set)
+            delivered = send(transport, ledger, f"user:{i}", LSP, upload)
+            rg.upload_delivered(delivered)
+            uploads.append(delivered)
 
     rg.uploads_complete()
-    encrypted = lsp.answer_group_query(request, uploads, ledger)
+    with maybe_span(obs, "lsp.answer") as lsp_span:
+        encrypted = lsp.answer_group_query(request, uploads, ledger)
+    if lsp_span is not None:
+        lsp_span.set(kgnn_queries=lsp.last_stats.kgnn_queries)
     encrypted = send(transport, ledger, LSP, COORDINATOR, encrypted)
     rg.answer_delivered(encrypted)
 
-    answers = decrypt_answer(keypair, codec, encrypted, ledger, guard_round=rg)
+    answers = decrypt_answer(
+        keypair, codec, encrypted, ledger, guard_round=rg, obs=obs
+    )
     broadcast = PlaintextAnswerBroadcast(tuple(answers))
     for user in range(1, n):
         delivered = send(transport, ledger, COORDINATOR, f"user:{user}", broadcast)

@@ -29,6 +29,7 @@ from repro.core.common import (
     decrypt_answer,
     derive_rngs,
     group_keypair,
+    publish_round,
 )
 from repro.core.config import PPGNNConfig
 from repro.core.lsp import LSPServer
@@ -38,6 +39,7 @@ from repro.encoding.answers import AnswerCodec
 from repro.errors import ConfigurationError
 from repro.geometry.point import Point
 from repro.guard.guard import ProtocolGuard, begin_round
+from repro.obs import Observability, maybe_span
 from repro.partition.layout import GroupLayout
 from repro.partition.solver import solve_partition
 from repro.protocol.messages import (
@@ -88,6 +90,7 @@ def run_ppgnn_opt(
     nonce_pool=None,
     transport: Transport | None = None,
     guard: ProtocolGuard | None = None,
+    obs: Observability | None = None,
 ) -> ProtocolResult:
     """Execute one PPGNN-OPT round (group sizes n >= 1).
 
@@ -100,8 +103,34 @@ def run_ppgnn_opt(
     message through a :mod:`repro.transport` channel; None keeps the
     historical perfect in-memory network.  ``guard`` arms the
     hostile-input defenses of :mod:`repro.guard`; None keeps the
-    historical trusting behavior.
+    historical trusting behavior.  ``obs`` traces the round as a
+    ``round.ppgnn-opt`` span and publishes the crypto operation counters;
+    None keeps the uninstrumented path byte-identical.
     """
+    with maybe_span(
+        obs, "round.ppgnn-opt", n=len(locations), seed=seed
+    ) as round_span:
+        result = _run_ppgnn_opt(
+            lsp, locations, config, seed, omega, dummy_generator, nonce_pool,
+            transport, guard, obs,
+        )
+        if round_span is not None:
+            publish_round(obs, round_span, result, lsp)
+        return result
+
+
+def _run_ppgnn_opt(
+    lsp: LSPServer,
+    locations: Sequence[Point],
+    config: PPGNNConfig,
+    seed: int,
+    omega: int | None,
+    dummy_generator,
+    nonce_pool,
+    transport: Transport | None,
+    guard: ProtocolGuard | None,
+    obs: Observability | None,
+) -> ProtocolResult:
     n = len(locations)
     if n < 1:
         raise ConfigurationError("a group needs at least one user")
@@ -131,7 +160,7 @@ def run_ppgnn_opt(
     )
 
     # --- Algorithm 1 with the two small indicators -----------------------
-    with ledger.clock(COORDINATOR):
+    with ledger.clock(COORDINATOR), maybe_span(obs, "coordinator.encrypt_query"):
         plan = layout.plan_placement(rng)
         block, within = split_indicator_index(plan.query_index, block_width)
         counter = ledger.counter(COORDINATOR)
@@ -175,22 +204,28 @@ def run_ppgnn_opt(
     rg.request_delivered(request)
 
     uploads = []
-    for i, real in enumerate(locations):
-        with ledger.clock(USER):
-            location_set = build_location_set(
-                real, positions[i], config.d, lsp.space, nprng, dummy_generator
-            )
-            upload = LocationSetUpload(i, location_set)
-        delivered = send(transport, ledger, f"user:{i}", LSP, upload)
-        rg.upload_delivered(delivered)
-        uploads.append(delivered)
+    with maybe_span(obs, "uploads", users=n):
+        for i, real in enumerate(locations):
+            with ledger.clock(USER):
+                location_set = build_location_set(
+                    real, positions[i], config.d, lsp.space, nprng, dummy_generator
+                )
+                upload = LocationSetUpload(i, location_set)
+            delivered = send(transport, ledger, f"user:{i}", LSP, upload)
+            rg.upload_delivered(delivered)
+            uploads.append(delivered)
 
     rg.uploads_complete()
-    encrypted = lsp.answer_group_query_opt(request, uploads, ledger)
+    with maybe_span(obs, "lsp.answer") as lsp_span:
+        encrypted = lsp.answer_group_query_opt(request, uploads, ledger)
+    if lsp_span is not None:
+        lsp_span.set(kgnn_queries=lsp.last_stats.kgnn_queries)
     encrypted = send(transport, ledger, LSP, COORDINATOR, encrypted)
     rg.answer_delivered(encrypted)
 
-    answers = decrypt_answer(keypair, codec, encrypted, ledger, nested=True, guard_round=rg)
+    answers = decrypt_answer(
+        keypair, codec, encrypted, ledger, nested=True, guard_round=rg, obs=obs
+    )
     broadcast = PlaintextAnswerBroadcast(tuple(answers))
     for user in range(1, n):
         delivered = send(transport, ledger, COORDINATOR, f"user:{user}", broadcast)

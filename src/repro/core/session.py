@@ -23,6 +23,7 @@ from repro.crypto.noncepool import NoncePool
 from repro.errors import ConfigurationError
 from repro.geometry.point import Point
 from repro.guard.guard import ProtocolGuard
+from repro.obs import Observability, maybe_span
 
 _RUNNERS: dict[str, Callable] = {
     "ppgnn": run_ppgnn,
@@ -90,6 +91,11 @@ class QuerySession:
         obfuscation factors.  Pools may be shared across sessions with the
         same public key (the serving engine does exactly that); None keeps
         the online-encryption behavior.
+    obs:
+        An :class:`~repro.obs.Observability` handle; every query then
+        traces a ``session.query`` span (with the protocol round and its
+        phases as children) and publishes the crypto counters.  None
+        (default) keeps the uninstrumented path byte-identical.
     """
 
     lsp: LSPServer
@@ -101,6 +107,7 @@ class QuerySession:
     max_history: int | None = 256
     guard: ProtocolGuard | None = None
     nonce_pool: "NoncePool | None" = None
+    obs: Observability | None = None
 
     def __post_init__(self) -> None:
         if self.protocol not in _RUNNERS:
@@ -132,14 +139,18 @@ class QuerySession:
         cache-servable; the totals still advance normally.
         """
         runner = _RUNNERS[self.protocol]
-        result = runner(
-            self.lsp,
-            locations,
-            self.config,
-            seed=self.seed + self.totals.queries if seed is None else seed,
-            nonce_pool=self.nonce_pool,
-            guard=self.guard,
-        )
+        with maybe_span(
+            self.obs, "session.query", protocol=self.protocol, n=len(locations)
+        ):
+            result = runner(
+                self.lsp,
+                locations,
+                self.config,
+                seed=self.seed + self.totals.queries if seed is None else seed,
+                nonce_pool=self.nonce_pool,
+                guard=self.guard,
+                obs=self.obs,
+            )
         self.totals.add(result)
         self._remember(result)
         return result

@@ -27,6 +27,7 @@ from __future__ import annotations
 import random
 from dataclasses import dataclass
 from functools import lru_cache
+from math import gcd
 from typing import NamedTuple
 
 from repro.crypto.modmath import invmod, lcm
@@ -261,18 +262,39 @@ class PaillierPrivateKey:
         exponents and moduli per prime factor (the standard Paillier
         optimization, generalized to Damgård–Jurik levels ``s >= 2``).
         Pass ``use_crt=False`` to force the generic path — both are exact,
-        and the equivalence test compares them across s in {1, 2}.
+        and the equivalence test compares them across s in {1, 2, 3}.
+        """
+        return self.decrypt_with_path(c, use_crt)[0]
+
+    def decrypt_with_path(
+        self, c: Ciphertext, use_crt: bool = True
+    ) -> tuple[int, str]:
+        """Decrypt and report which path ran: ``"crt"`` or ``"generic"``.
+
+        The CRT path is only an optimization of the generic one when its
+        preconditions hold; it silently falls back when they do not:
+
+        - ``p == q`` (a degenerate key smuggled past the constructor) makes
+          Garner recombination divide by ``gcd(p, q) != 1``;
+        - a ciphertext value sharing a factor with N (an adversarial value
+          such as 0, p, or a multiple — never produced by honest
+          encryption, whose values are units) breaks the per-prime
+          exponent-order argument and the two paths diverge.
+
+        Honest ciphertexts always take the CRT path, so the fallback does
+        not change any previously-correct output.  The path tag feeds the
+        ``crypto.decryptions.crt`` / ``.generic`` metrics split.
         """
         if c.public_key != self.public_key:
             raise CryptoError("ciphertext was produced under a different key")
-        if use_crt:
+        if use_crt and self.p != self.q and gcd(c.value, self.public_key.n) == 1:
             if c.s == 1:
-                return self._decrypt_crt(c.value)
-            return self._decrypt_crt_level(c.value, c.s)
+                return self._decrypt_crt(c.value), "crt"
+            return self._decrypt_crt_level(c.value, c.s), "crt"
         mod_cipher = self.public_key.ciphertext_modulus(c.s)
         u = pow(c.value, self.lam, mod_cipher)
         m_lam = self._extract(u, c.s)
-        return m_lam * self._lam_inv(c.s) % self.public_key.n_pow(c.s)
+        return m_lam * self._lam_inv(c.s) % self.public_key.n_pow(c.s), "generic"
 
     def _crt_params(self) -> tuple[int, int, int, int, int]:
         """(p^2, q^2, hp, hq, q^-1 mod p) for the s = 1 fast path.
@@ -336,11 +358,18 @@ class PaillierPrivateKey:
         plaintext is itself an eps_1 ciphertext value (Section 6); this
         helper performs the two decryptions the coordinator runs.
         """
+        return self.decrypt_nested_with_path(c)[0]
+
+    def decrypt_nested_with_path(
+        self, c: Ciphertext
+    ) -> tuple[int, tuple[str, str]]:
+        """:meth:`decrypt_nested` plus the (outer, inner) path tags."""
         if c.s != 2:
             raise CryptoError("nested decryption expects an eps_2 ciphertext")
-        inner_value = self.decrypt(c)
+        inner_value, outer_path = self.decrypt_with_path(c)
         inner = Ciphertext(value=inner_value, s=1, public_key=self.public_key)
-        return self.decrypt(inner)
+        plaintext, inner_path = self.decrypt_with_path(inner)
+        return plaintext, (outer_path, inner_path)
 
 
 class KeyPair(NamedTuple):

@@ -17,13 +17,21 @@ offending party.
 
 from __future__ import annotations
 
+import functools
 import math
 from dataclasses import dataclass
 from typing import Sequence
 
 from repro.crypto.paillier import PaillierPublicKey
 from repro.encoding.answers import AnswerCodec, DecodedAnswer
-from repro.errors import EncodingError, InboundValidationError, ProtocolStateError
+from repro.errors import (
+    DeadlineExceededError,
+    EncodingError,
+    GuardError,
+    InboundValidationError,
+    ProtocolStateError,
+)
+from repro.obs import Observability
 from repro.geometry.space import LocationSpace
 from repro.guard.deadline import RoundDeadline
 from repro.guard.state import (
@@ -52,6 +60,31 @@ from repro.protocol.messages import (
 from repro.protocol.metrics import CostLedger
 
 
+def _observed(hook):
+    """Count a hook's rejections before re-raising them.
+
+    Applied to the public choreography hooks only — never to ``tick``,
+    which runs *inside* hooks and would double-count a deadline miss.
+    :class:`~repro.errors.DeadlineExceededError` is a
+    :class:`~repro.errors.GuardError`, so it must be matched first.
+    """
+
+    @functools.wraps(hook)
+    def wrapper(self, *args, **kwargs):
+        try:
+            return hook(self, *args, **kwargs)
+        except DeadlineExceededError:
+            if self.obs is not None:
+                self.obs.count("guard.deadline_misses")
+            raise
+        except GuardError:
+            if self.obs is not None:
+                self.obs.count("guard.violations")
+            raise
+
+    return wrapper
+
+
 class RoundGuard:
     """Armed defenses for one protocol round.
 
@@ -75,6 +108,7 @@ class RoundGuard:
         outer_length: int | None = None,
         deadline: RoundDeadline | None = None,
         round_id: int = 0,
+        obs: Observability | None = None,
     ) -> None:
         self.layout = layout
         self.public_key = public_key
@@ -87,6 +121,7 @@ class RoundGuard:
         self.outer_length = outer_length
         self.deadline = deadline
         self.round_id = round_id
+        self.obs = obs
         self.coordinator: RoleStateMachine = coordinator_machine(round_id)
         self.members: dict[int, RoleStateMachine] = {
             i: member_machine(i, round_id) for i in range(layout.n)
@@ -112,10 +147,12 @@ class RoundGuard:
 
     # --------------------------------------------------------- choreography
 
+    @_observed
     def planned(self) -> None:
         """The coordinator finished Algorithm 1's offline planning."""
         self.coordinator.advance("plan")
 
+    @_observed
     def position_delivered(self, user: int, message: object) -> None:
         """A position assignment arrived at ``user``; validate before use."""
         self.coordinator.advance("send_position")
@@ -134,6 +171,7 @@ class RoundGuard:
         )
         self.tick("coordinator")
 
+    @_observed
     def request_delivered(self, request: object) -> None:
         """The query request arrived at the LSP; validate the indicators."""
         self.coordinator.advance("send_request")
@@ -221,6 +259,7 @@ class RoundGuard:
             what="outer indicator",
         )
 
+    @_observed
     def upload_delivered(self, upload: object) -> None:
         """A location-set upload arrived at the LSP."""
         if not isinstance(upload, LocationSetUpload):
@@ -240,10 +279,12 @@ class RoundGuard:
         )
         self.tick(party)
 
+    @_observed
     def uploads_complete(self) -> None:
         """Gate before the LSP's Algorithm 2: the round must be whole."""
         self.lsp.ready_to_answer()
 
+    @_observed
     def answer_delivered(self, answer: object) -> None:
         """The encrypted answer arrived at the coordinator."""
         self.coordinator.advance("recv_answer", party="lsp")
@@ -264,6 +305,7 @@ class RoundGuard:
         )
         self.tick("lsp")
 
+    @_observed
     def decode_plaintexts(
         self, codec: AnswerCodec, integers: Sequence[int]
     ) -> list[DecodedAnswer]:
@@ -301,6 +343,7 @@ class RoundGuard:
             )
         return answers
 
+    @_observed
     def broadcast_delivered(self, user: int, message: object) -> None:
         """The plaintext answer broadcast arrived at ``user``."""
         self.coordinator.advance("broadcast")
@@ -320,6 +363,7 @@ class RoundGuard:
             )
         self.tick("coordinator")
 
+    @_observed
     def finished(self) -> None:
         """Close the round; the coordinator must have decrypted."""
         self.coordinator.advance("finish")
@@ -368,9 +412,14 @@ class ProtocolGuard:
     ----------
     deadline_seconds:
         Simulated-network time budget per round; None disables deadlines.
+    obs:
+        An :class:`~repro.obs.Observability` handle; every round guard
+        then counts its rejections into the ``guard.violations`` /
+        ``guard.deadline_misses`` metrics.  None keeps the hooks silent.
     """
 
     deadline_seconds: float | None = None
+    obs: Observability | None = None
 
     def begin(
         self,
@@ -392,6 +441,8 @@ class ProtocolGuard:
             if self.deadline_seconds is not None
             else None
         )
+        if self.obs is not None:
+            self.obs.count("guard.rounds")
         return RoundGuard(
             layout=layout,
             public_key=public_key,
@@ -404,6 +455,7 @@ class ProtocolGuard:
             outer_length=outer_length,
             deadline=deadline,
             round_id=round_id,
+            obs=self.obs,
         )
 
 

@@ -1,0 +1,103 @@
+"""repro.obs — zero-dependency tracing, metrics, and profiling hooks.
+
+The library layers (serving engine, transport, guard, Paillier) accept an
+optional :class:`Observability` handle.  ``obs=None`` — the default
+everywhere — is a hard no-op with byte-identical behaviour, enforced by
+regression fixtures; passing a handle turns on hierarchical span tracing
+(:mod:`repro.obs.trace`) and metric publication (:mod:`repro.obs.metrics`).
+Profiled key wrappers (:mod:`repro.obs.profile`) are separately opt-in.
+
+See OBSERVABILITY.md for the span model and the canonical metric names.
+"""
+
+from __future__ import annotations
+
+from contextlib import nullcontext
+from dataclasses import dataclass, field
+
+from repro.obs.metrics import (
+    DEFAULT_BUCKETS,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    MetricsSnapshot,
+)
+from repro.obs.profile import (
+    KeyProfiler,
+    OpProfile,
+    ProfiledPrivateKey,
+    ProfiledPublicKey,
+    pow_mul_estimate,
+    profile_keypair,
+)
+from repro.obs.trace import (
+    Span,
+    Tracer,
+    merge_span_groups,
+    parse_jsonl,
+    render_span_tree,
+    slowest_path,
+    validate_spans,
+)
+
+
+@dataclass
+class Observability:
+    """One tracer plus one metrics registry, threaded through a run."""
+
+    tracer: Tracer = field(default_factory=Tracer)
+    metrics: MetricsRegistry = field(default_factory=MetricsRegistry)
+
+    def span(self, name: str, **attrs):
+        """Open a span on the tracer (a context manager yielding it)."""
+        return self.tracer.span(name, **attrs)
+
+    def count(self, name: str, amount: float = 1) -> None:
+        """Increment the named counter."""
+        self.metrics.counter(name).inc(amount)
+
+    def snapshot(self) -> MetricsSnapshot:
+        """Freeze the metrics registry into an immutable snapshot."""
+        return self.metrics.snapshot()
+
+
+#: A shared inert context manager — ``maybe_span`` with ``obs=None``.
+_NULL_CONTEXT = nullcontext(None)
+
+
+def maybe_span(obs: Observability | None, name: str, **attrs):
+    """A span if observability is on, an inert context manager if not.
+
+    Instrumented code writes ``with maybe_span(obs, "x") as span:`` and
+    guards attribute writes with ``if span is not None`` — zero allocations
+    and no tracer state when ``obs`` is None.
+    """
+    if obs is None:
+        return _NULL_CONTEXT
+    return obs.span(name, **attrs)
+
+
+__all__ = [
+    "DEFAULT_BUCKETS",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "KeyProfiler",
+    "MetricsRegistry",
+    "MetricsSnapshot",
+    "Observability",
+    "OpProfile",
+    "ProfiledPrivateKey",
+    "ProfiledPublicKey",
+    "Span",
+    "Tracer",
+    "maybe_span",
+    "merge_span_groups",
+    "parse_jsonl",
+    "pow_mul_estimate",
+    "profile_keypair",
+    "render_span_tree",
+    "slowest_path",
+    "validate_spans",
+]

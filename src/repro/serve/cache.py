@@ -50,6 +50,11 @@ class CacheStats:
         self.evictions += other.evictions
 
 
+#: Distinguishes "key absent" from "None was cached" — ``get(key)``
+#: returning the default must not shadow a legitimately stored None.
+_MISSING = object()
+
+
 class KnnLRUCache:
     """A bounded least-recently-used cache with hit/miss counters."""
 
@@ -64,9 +69,14 @@ class KnnLRUCache:
         return len(self._entries)
 
     def lookup(self, key: Hashable) -> Any | None:
-        """The cached value, refreshed to most-recent, or None on a miss."""
-        value = self._entries.get(key)
-        if value is None:
+        """The cached value, refreshed to most-recent, or None on a miss.
+
+        A stored None counts as a hit: treating it as a miss would both
+        skew the hit rate and pin the entry at its old LRU position, so a
+        None entry would poison its slot until evicted.
+        """
+        value = self._entries.get(key, _MISSING)
+        if value is _MISSING:
             self.stats.misses += 1
             return None
         self._entries.move_to_end(key)
@@ -74,7 +84,11 @@ class KnnLRUCache:
         return value
 
     def store(self, key: Hashable, value: Any) -> None:
-        """Insert a value, evicting the least-recently-used entry if full."""
+        """Insert or replace a value, evicting the LRU entry if full.
+
+        Replacing an existing key refreshes its recency and never evicts
+        (the size does not grow).
+        """
         if key in self._entries:
             self._entries.move_to_end(key)
             self._entries[key] = value
@@ -86,6 +100,11 @@ class KnnLRUCache:
 
     def clear(self) -> None:
         self._entries.clear()
+
+
+#: The serving engine's cache is LRU first and kNN-specific second; some
+#: call sites (and the serving docs) use the generic name.
+LRUCache = KnnLRUCache
 
 
 def knn_cache_key(

@@ -114,3 +114,42 @@ class CostModel:
         else:
             raise ConfigurationError(f"unknown protocol {protocol!r}")
         return crypto * scale + kgnn
+
+    def predict_ops(
+        self, protocol: str, n: int, config: PPGNNConfig
+    ) -> dict[str, int]:
+        """Exact per-round operation counts of one honest protocol round.
+
+        Same arithmetic as :meth:`predict_seconds`, but returning the raw
+        counts — the numbers a traced round's span attributes must match
+        exactly (the observability acceptance check).  Only the counts
+        that are a pure function of (protocol, n, config) are included:
+        encryptions, decryptions, and kGNN queries.  Scalar multiplications
+        are *data-dependent* (``hom_dot`` skips zero scalars, and how many
+        indicator slots are zero depends on the placement draw), so they
+        are deliberately absent rather than approximately present.
+        """
+        m = _answer_integers(config.keysize, config.k)
+        if protocol == "ppgnn":
+            delta_prime = solve_partition(n, config.d, config.delta).delta_prime
+            return {
+                "encryptions": delta_prime,
+                "decryptions": m,
+                "kgnn_queries": delta_prime,
+            }
+        if protocol == "ppgnn-opt":
+            delta_prime = solve_partition(n, config.d, config.delta).delta_prime
+            omega = optimal_omega(delta_prime)
+            width = math.ceil(delta_prime / omega)
+            return {
+                "encryptions": width + omega,
+                "decryptions": 2 * m,
+                "kgnn_queries": delta_prime,
+            }
+        if protocol == "naive":
+            return {
+                "encryptions": config.delta,
+                "decryptions": m,
+                "kgnn_queries": config.delta,
+            }
+        raise ConfigurationError(f"unknown protocol {protocol!r}")

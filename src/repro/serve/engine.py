@@ -28,8 +28,10 @@ from __future__ import annotations
 
 import hashlib
 import heapq
+import math
 import time
 from dataclasses import dataclass, field
+from fractions import Fraction
 
 from repro.core.config import PPGNNConfig
 from repro.core.lsp import LSPServer
@@ -38,6 +40,7 @@ from repro.errors import (
     BackpressureError,
     ConfigurationError,
 )
+from repro.obs import MetricsRegistry, Span, merge_span_groups
 from repro.serve.costs import CostModel
 from repro.serve.pool import (
     BucketStats,
@@ -78,6 +81,7 @@ class ServeConfig:
     faults: object | None = None
     guard: bool = False
     deadline_seconds: float | None = None
+    obs: bool = False
     cost_model: CostModel = field(default_factory=CostModel)
 
     def __post_init__(self) -> None:
@@ -112,6 +116,7 @@ class ServeConfig:
             faults=faults,
             guard=self.guard,
             deadline_seconds=self.deadline_seconds,
+            obs=self.obs,
         )
 
 
@@ -141,11 +146,22 @@ class RejectedJob:
 
 
 def _percentile(sorted_values: list[float], fraction: float) -> float:
-    """Nearest-rank percentile (deterministic, no interpolation)."""
+    """Nearest-rank percentile (deterministic, no interpolation).
+
+    The rank is ``ceil(n * fraction)`` computed *exactly* over rationals:
+    the obvious float expression misranks whenever ``n * fraction`` lands
+    epsilon above an integer (``100 * 0.55 == 55.000000000000007``, so a
+    float ceil selects rank 56 instead of 55).  ``Fraction(str(fraction))``
+    reads the decimal the caller wrote, not the nearest binary float.  The
+    clamp to ``[1, n]`` covers fraction <= 0 and fraction >= 1 (p100 and
+    anything epsilon beyond must select the last sample, never index n).
+    """
     if not sorted_values:
         return 0.0
-    rank = max(1, -(-len(sorted_values) * fraction // 1))
-    return sorted_values[int(rank) - 1]
+    n = len(sorted_values)
+    exact = Fraction(n) * Fraction(str(fraction))
+    rank = min(max(1, math.ceil(exact)), n)
+    return sorted_values[rank - 1]
 
 
 @dataclass
@@ -184,6 +200,7 @@ class ServingReport:
     failures: list[tuple[int, str]]
     rejections: list[RejectedJob]
     answers_digest: str
+    obs: dict | None = None
     outcomes: dict[int, JobOutcome] = field(default_factory=dict, repr=False)
     wall_seconds: float = 0.0
 
@@ -231,10 +248,64 @@ class ServingReport:
             ],
             "answers_digest": self.answers_digest,
         }
+        if self.obs is not None:
+            data["obs"] = self.obs
         if include_wall:
             data["wall_seconds"] = self.wall_seconds
             data["wall_qps"] = self.wall_qps
         return data
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "ServingReport":
+        """Rebuild a report from :meth:`to_dict` output.
+
+        Lossless: ``from_dict(d).to_dict() == d`` for any ``d`` produced
+        by :meth:`to_dict` (``outcomes`` is execution-local state and is
+        never serialized).
+        """
+        latency = data["latency"]
+        queue = data["queue"]
+        transport = data["transport"]
+        return cls(
+            workers=data["workers"],
+            policy=data["policy"],
+            executor=data["executor"],
+            queries=data["queries"],
+            completed=data["completed"],
+            failed=data["failed"],
+            rejected=data["rejected"],
+            makespan_seconds=data["makespan_seconds"],
+            throughput_qps=data["throughput_qps"],
+            latency_mean=latency["mean"],
+            latency_p50=latency["p50"],
+            latency_p95=latency["p95"],
+            latency_p99=latency["p99"],
+            max_queue_depth=queue["max_depth"],
+            mean_queue_depth=queue["mean_depth"],
+            queue_depth_timeline=[
+                (t, depth) for t, depth in queue["timeline"]
+            ],
+            per_protocol=data["per_protocol"],
+            per_tenant=data["per_tenant"],
+            cache=data["cache"],
+            pool=data["pool"],
+            retransmissions=transport["retransmissions"],
+            corrupt_rejected=transport["corrupt_rejected"],
+            comm_bytes_total=data["comm_bytes_total"],
+            failures=[tuple(item) for item in data["failures"]],
+            rejections=[
+                RejectedJob(
+                    job_id=item[0],
+                    tenant=item[1],
+                    time=item[2],
+                    error_type=item[3],
+                )
+                for item in data["rejections"]
+            ],
+            answers_digest=data["answers_digest"],
+            obs=data.get("obs"),
+            wall_seconds=data.get("wall_seconds", 0.0),
+        )
 
 
 class ServeEngine:
@@ -442,6 +513,29 @@ class ServeEngine:
 
         makespan = max((slot.finish for slot in planned), default=0.0)
         depths = [depth for _, depth in depth_timeline]
+
+        obs_payload = None
+        if cfg.obs:
+            registry = MetricsRegistry()
+            if stats.metrics is not None:
+                registry.merge_snapshot(stats.metrics)
+            registry.counter("serve.jobs.completed").inc(len(completed))
+            registry.counter("serve.jobs.failed").inc(len(failures))
+            registry.counter("serve.jobs.rejected").inc(len(rejected))
+            registry.gauge("serve.queue.max_depth").set(max(depths, default=0))
+            latency_hist = registry.histogram("serve.latency_seconds")
+            for latency in latencies:
+                latency_hist.observe(latency)
+            # Bucket-local span ids collide across buckets; remap per group,
+            # in bucket order, so the run-wide trace is deterministic.
+            merged = merge_span_groups(
+                [[Span.from_dict(item) for item in group] for group in stats.spans]
+            )
+            obs_payload = {
+                "metrics": registry.snapshot().to_dict(),
+                "spans": [span.to_dict() for span in merged],
+            }
+
         return ServingReport(
             workers=cfg.workers,
             policy=cfg.policy,
@@ -479,6 +573,7 @@ class ServeEngine:
             failures=failures,
             rejections=rejected,
             answers_digest=digest.hexdigest(),
+            obs=obs_payload,
             outcomes=outcomes,
             wall_seconds=wall,
         )

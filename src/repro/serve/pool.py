@@ -30,6 +30,7 @@ from repro.datasets.poi import POI
 from repro.errors import ReproError
 from repro.geometry.space import LocationSpace
 from repro.guard.guard import ProtocolGuard
+from repro.obs import MetricsRegistry, MetricsSnapshot, Observability
 from repro.partition.solver import solve_partition
 from repro.serve.cache import CacheStats, KnnLRUCache
 from repro.serve.workload import GroupProfile, QueryJob
@@ -87,6 +88,7 @@ class RunnerOptions:
     faults: FaultPlan | None = None
     guard: bool = False
     deadline_seconds: float | None = None
+    obs: bool = False
 
 
 @dataclass(frozen=True, slots=True)
@@ -111,18 +113,35 @@ class JobOutcome:
 
 @dataclass
 class BucketStats:
-    """Shared-resource counters of one bucket, merged into the report."""
+    """Shared-resource counters of one bucket, merged into the report.
+
+    When the bucket ran with observability on, ``metrics`` carries its
+    registry snapshot and ``spans`` its trace as one span *group* (a tuple
+    of span dicts with bucket-local ids).  Merging keeps groups separate —
+    the engine remaps ids per group when it assembles the run-wide trace —
+    and always happens in bucket order, so serial and multiprocessing
+    executors produce identical merged observations.
+    """
 
     pool: PoolStats = field(default_factory=PoolStats)
     cache: CacheStats = field(default_factory=CacheStats)
     retransmissions: int = 0
     corrupt_rejected: int = 0
+    metrics: MetricsSnapshot | None = None
+    spans: tuple = ()
 
     def merge(self, other: "BucketStats") -> None:
         self.pool.merge(other.pool)
         self.cache.merge(other.cache)
         self.retransmissions += other.retransmissions
         self.corrupt_rejected += other.corrupt_rejected
+        if other.metrics is not None:
+            registry = MetricsRegistry()
+            if self.metrics is not None:
+                registry.merge_snapshot(self.metrics)
+            registry.merge_snapshot(other.metrics)
+            self.metrics = registry.snapshot()
+        self.spans = self.spans + other.spans
 
 
 class BucketRunner:
@@ -152,8 +171,9 @@ class BucketRunner:
         if options.knn_cache_size is not None:
             lsp.engine.set_knn_cache(KnnLRUCache(options.knn_cache_size))
         self._sessions: dict[tuple[int, str, int], QuerySession] = {}
+        self.obs = Observability() if options.obs else None
         self._guard = (
-            ProtocolGuard(deadline_seconds=options.deadline_seconds)
+            ProtocolGuard(deadline_seconds=options.deadline_seconds, obs=self.obs)
             if options.guard
             else None
         )
@@ -172,6 +192,7 @@ class BucketRunner:
             seed=job.seed,
             max_history=1,
             guard=self._guard,
+            obs=self.obs,
         )
         if self.options.faults is not None:
             # One independent fault stream per session, derived from the
@@ -256,6 +277,16 @@ class BucketRunner:
             if transport is not None:
                 stats.retransmissions += transport.stats.retransmissions
                 stats.corrupt_rejected += transport.stats.corrupt_rejected
+        if self.obs is not None:
+            # Shared-resource counters are published once, at bucket close,
+            # so repeats and evictions are already folded in.
+            self.obs.count("serve.cache.hits", stats.cache.hits)
+            self.obs.count("serve.cache.misses", stats.cache.misses)
+            self.obs.count("serve.pool.pooled", stats.pool.pooled)
+            stats.metrics = self.obs.snapshot()
+            stats.spans = (
+                tuple(span.to_dict() for span in self.obs.tracer.spans()),
+            )
         return stats
 
 

@@ -10,6 +10,7 @@ for the chaos sweep's answers-must-match assertion.
 
 from __future__ import annotations
 
+import math
 import zlib
 from dataclasses import dataclass
 
@@ -53,12 +54,39 @@ class RetryPolicy:
         if not 0.0 <= self.jitter_fraction < 1.0:
             raise ConfigurationError("jitter_fraction must be in [0, 1)")
 
-    def backoff(self, attempt: int, link: tuple[str, str], seq: int) -> float:
-        """Wait before retransmission number ``attempt`` (1-based retry)."""
-        raw = min(
-            self.base_backoff_seconds * self.backoff_multiplier ** (attempt - 1),
+    def _raw_backoff(self, attempt: int) -> float:
+        """``min(base * multiplier**(attempt-1), max)`` without overflow.
+
+        ``multiplier ** (attempt - 1)`` raises OverflowError once the
+        exponent passes ~1024 for multiplier 2 — reachable with a large
+        ``max_attempts`` — so saturation at the cap is decided in log
+        space first and the original expression only evaluates when it is
+        known to be in range (keeping every in-range value bit-identical
+        to the pre-guard behaviour).
+        """
+        base, mult, cap = (
+            self.base_backoff_seconds,
+            self.backoff_multiplier,
             self.max_backoff_seconds,
         )
+        if base == 0.0:
+            return 0.0
+        if mult > 1.0 and attempt > 1:
+            log_raw = math.log(base) + (attempt - 1) * math.log(mult)
+            # A half-unit margin keeps log-space rounding away from the
+            # decision: anything this close to the cap from above is capped.
+            if log_raw >= math.log(cap) + 0.5:
+                return cap
+        return min(base * mult ** (attempt - 1), cap)
+
+    def backoff(self, attempt: int, link: tuple[str, str], seq: int) -> float:
+        """Wait before retransmission number ``attempt`` (1-based retry).
+
+        Jitter is a deterministic draw seeded per link: the CRC32 of
+        (link, seq, attempt) is this transport's per-link RNG, so chaos
+        runs replay byte-identically regardless of global RNG state.
+        """
+        raw = self._raw_backoff(attempt)
         token = f"{link[0]}|{link[1]}|{seq}|{attempt}".encode()
         unit = zlib.crc32(token) / 2**32  # deterministic in [0, 1)
         return raw * (1.0 - self.jitter_fraction + 2.0 * self.jitter_fraction * unit)

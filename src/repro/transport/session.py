@@ -23,6 +23,7 @@ from repro.core.result import ProtocolResult
 from repro.core.session import _RUNNERS, QuerySession
 from repro.errors import GroupMemberLostError
 from repro.geometry.point import Point
+from repro.obs import maybe_span
 from repro.transport.channel import Channel, PerfectChannel
 from repro.transport.retry import RetryPolicy
 from repro.transport.transport import Transport, TransportStats
@@ -57,7 +58,7 @@ class ResilientSession(QuerySession):
 
     def __post_init__(self) -> None:
         super().__post_init__()
-        self.transport = Transport(self.channel, self.policy)
+        self.transport = Transport(self.channel, self.policy, obs=self.obs)
 
     @property
     def transport_stats(self) -> TransportStats:
@@ -81,15 +82,20 @@ class ResilientSession(QuerySession):
         while True:
             round_seed = base_seed + _REGROUP_SEED_STRIDE * round_number
             try:
-                result = runner(
-                    self.lsp,
-                    survivors,
-                    self.config,
-                    seed=round_seed,
-                    nonce_pool=self.nonce_pool,
-                    transport=self.transport,
-                    guard=self.guard,
-                )
+                with maybe_span(
+                    self.obs, "session.query", protocol=self.protocol,
+                    n=len(survivors), round_number=round_number,
+                ):
+                    result = runner(
+                        self.lsp,
+                        survivors,
+                        self.config,
+                        seed=round_seed,
+                        nonce_pool=self.nonce_pool,
+                        transport=self.transport,
+                        guard=self.guard,
+                        obs=self.obs,
+                    )
             except GroupMemberLostError as lost:
                 if (
                     not self.allow_regroup

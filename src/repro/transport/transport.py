@@ -27,6 +27,7 @@ from repro.errors import (
     GroupMemberLostError,
     RetryExhaustedError,
 )
+from repro.obs import Observability, maybe_span
 from repro.protocol.messages import Message
 from repro.protocol.metrics import COORDINATOR, LSP, USER, CostLedger
 from repro.transport.channel import Channel, PerfectChannel
@@ -86,6 +87,7 @@ class Transport:
     stats: TransportStats = field(default_factory=TransportStats)
     _next_seq: defaultdict = field(default_factory=lambda: defaultdict(int))
     _accepted: defaultdict = field(default_factory=lambda: defaultdict(set))
+    obs: Observability | None = None
 
     def deliver(
         self, ledger: CostLedger, sender: str, receiver: str, message: Message
@@ -97,18 +99,36 @@ class Transport:
         :class:`~repro.errors.RetryExhaustedError` after the policy's
         attempt budget.
         """
+        with maybe_span(
+            self.obs, "transport.send", link=f"{sender}->{receiver}"
+        ) as span:
+            return self._deliver(ledger, sender, receiver, message, span)
+
+    def _deliver(
+        self,
+        ledger: CostLedger,
+        sender: str,
+        receiver: str,
+        message: Message,
+        span=None,
+    ) -> Message:
         link = (sender, receiver)
         seq = self._next_seq[link]
         self._next_seq[link] += 1
         envelope = seal(link, seq, message)
         sender_role, receiver_role = party_role(sender), party_role(receiver)
         self.stats.messages += 1
+        if self.obs is not None:
+            self.obs.count("transport.messages")
         for attempt in range(1, self.policy.max_attempts + 1):
             if attempt > 1:
                 self.stats.retransmissions += 1
                 wait = self.policy.backoff(attempt - 1, link, seq)
                 self.stats.backoff_seconds += wait
                 ledger.times[NETWORK] += wait
+                if self.obs is not None:
+                    self.obs.count("transport.retries")
+                    self.obs.count("transport.backoff_seconds", wait)
             self.stats.attempts += 1
             ledger.record(sender_role, receiver_role, envelope)
             accepted = self._receive(
@@ -116,9 +136,13 @@ class Transport:
                 sender_role,
             )
             if accepted is not None:
+                if span is not None:
+                    span.set(attempts=attempt, bytes=envelope.byte_size)
                 return accepted
             self.stats.timeouts += 1
             ledger.times[NETWORK] += self.policy.timeout_seconds
+        if self.obs is not None:
+            self.obs.count("transport.exhausted")
         dead = self.channel.killed_party(link)
         if dead is not None:
             lost = user_index(dead)
@@ -144,6 +168,8 @@ class Transport:
                 # Damaged in transit: reject loudly, ask for a resend.
                 self.stats.corrupt_rejected += 1
                 self.stats.nacks_sent += 1
+                if self.obs is not None:
+                    self.obs.count("transport.corrupt_rejected")
                 ledger.record(receiver_role, sender_role, Nack(copy.seq))
                 continue
             if copy.seq in self._accepted[copy.link]:

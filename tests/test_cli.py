@@ -120,3 +120,48 @@ class TestServeBench:
     def test_serve_bench_with_faults(self, capsys):
         assert run_cli([*self.ARGS, "--fault-rate", "0.05"]) == 0
         assert "served 8/8" in capsys.readouterr().out
+
+    def test_serve_bench_obs_embeds_metrics(self, capsys):
+        import json
+
+        assert run_cli([*self.ARGS, "--obs", "--json"]) == 0
+        report = json.loads(capsys.readouterr().out)
+        assert "crypto.encryptions" in report["obs"]["metrics"]["counters"]
+        assert report["obs"]["spans"]
+
+    def test_serve_bench_trace_out_writes_parseable_jsonl(self, capsys, tmp_path):
+        from repro.obs import parse_jsonl, validate_spans
+
+        trace = tmp_path / "serve.jsonl"
+        assert run_cli([*self.ARGS, "--trace-out", str(trace)]) == 0
+        spans = parse_jsonl(trace.read_text())
+        assert spans
+        validate_spans(spans)
+
+
+class TestTrace:
+    ARGS = [
+        "trace", "--pois", "300", "--n", "3", "--d", "3", "--delta", "6",
+        "--k", "3", "--keysize", "128", "--seed", "4",
+    ]
+
+    def test_live_trace_renders_tree_and_metrics(self, capsys):
+        assert run_cli(self.ARGS) == 0
+        out = capsys.readouterr().out
+        assert "round.ppgnn" in out
+        assert "slowest path:" in out
+        assert "crypto.encryptions" in out
+
+    def test_trace_round_trips_through_file(self, capsys, tmp_path):
+        trace = tmp_path / "q.jsonl"
+        assert run_cli([*self.ARGS, "--out", str(trace)]) == 0
+        live = capsys.readouterr().out
+        assert run_cli(["trace", "--input", str(trace)]) == 0
+        rendered = capsys.readouterr().out
+        assert rendered.strip() in live
+
+    def test_trace_bad_input_reports_error(self, capsys, tmp_path):
+        bad = tmp_path / "bad.jsonl"
+        bad.write_text("not json\n")
+        assert run_cli(["trace", "--input", str(bad)]) == 2
+        assert "line 1" in capsys.readouterr().err

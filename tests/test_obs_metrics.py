@@ -1,0 +1,135 @@
+"""The metrics registry: instruments, snapshots, merge semantics."""
+
+import json
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.obs import (
+    DEFAULT_BUCKETS,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    MetricsSnapshot,
+)
+
+
+class TestInstruments:
+    def test_counter_accumulates_and_rejects_negative(self):
+        counter = Counter()
+        counter.inc()
+        counter.inc(2.5)
+        assert counter.value == 3.5
+        with pytest.raises(ConfigurationError):
+            counter.inc(-1)
+
+    def test_gauge_moves_both_ways(self):
+        gauge = Gauge()
+        gauge.set(5)
+        gauge.add(-2)
+        assert gauge.value == 3
+
+    def test_histogram_bucket_assignment(self):
+        hist = Histogram(buckets=(1.0, 2.0, 5.0))
+        for value in (0.5, 1.0, 1.5, 4.0, 100.0):
+            hist.observe(value)
+        assert hist.counts == [2, 1, 1]  # <=1: {0.5, 1.0}; <=2: {1.5}; <=5: {4.0}
+        assert hist.overflow == 1
+        assert hist.count == 5
+        assert hist.mean == pytest.approx(107.0 / 5)
+
+    def test_histogram_buckets_must_be_sorted_non_empty(self):
+        with pytest.raises(ConfigurationError):
+            Histogram(buckets=())
+        with pytest.raises(ConfigurationError):
+            Histogram(buckets=(2.0, 1.0))
+
+    def test_empty_histogram_mean(self):
+        assert Histogram().mean == 0.0
+
+
+class TestRegistryAndSnapshot:
+    def test_create_on_first_use_is_stable(self):
+        registry = MetricsRegistry()
+        assert registry.counter("a") is registry.counter("a")
+        assert registry.gauge("g") is registry.gauge("g")
+        assert registry.histogram("h") is registry.histogram("h")
+
+    def test_snapshot_json_round_trip(self):
+        registry = MetricsRegistry()
+        registry.counter("z.count").inc(3)
+        registry.counter("a.count").inc(1)
+        registry.gauge("depth").set(7)
+        registry.histogram("lat").observe(0.002)
+        snapshot = registry.snapshot()
+        restored = MetricsSnapshot.from_dict(
+            json.loads(json.dumps(snapshot.to_dict()))
+        )
+        assert restored.to_dict() == snapshot.to_dict()
+
+    def test_to_dict_sorts_names(self):
+        registry = MetricsRegistry()
+        registry.counter("z").inc()
+        registry.counter("a").inc()
+        assert list(registry.snapshot().to_dict()["counters"]) == ["a", "z"]
+
+    def test_names_property(self):
+        registry = MetricsRegistry()
+        registry.counter("c").inc()
+        registry.gauge("g").set(1)
+        registry.histogram("h").observe(1)
+        assert registry.snapshot().names == {"c", "g", "h"}
+
+    def test_snapshot_is_a_frozen_copy(self):
+        registry = MetricsRegistry()
+        registry.counter("c").inc()
+        snapshot = registry.snapshot()
+        registry.counter("c").inc()
+        assert snapshot.counters["c"] == 1
+        assert registry.snapshot().counters["c"] == 2
+
+
+class TestMergeSemantics:
+    def _snapshot(self, count, gauge, observations):
+        registry = MetricsRegistry()
+        registry.counter("jobs").inc(count)
+        registry.gauge("depth").set(gauge)
+        hist = registry.histogram("lat")
+        for value in observations:
+            hist.observe(value)
+        return registry.snapshot()
+
+    def test_counters_add_gauges_max_histograms_add(self):
+        merged = MetricsRegistry()
+        merged.merge_snapshot(self._snapshot(3, 5, [0.002, 0.2]))
+        merged.merge_snapshot(self._snapshot(4, 2, [0.004]))
+        result = merged.snapshot()
+        assert result.counters["jobs"] == 7
+        assert result.gauges["depth"] == 5  # max, not sum
+        hist = result.histograms["lat"]
+        assert hist["count"] == 3
+        assert hist["total"] == pytest.approx(0.206)
+
+    def test_merge_order_independent_totals(self):
+        a, b = self._snapshot(1, 9, [0.1]), self._snapshot(2, 3, [0.5, 5.0])
+        left, right = MetricsRegistry(), MetricsRegistry()
+        left.merge_snapshot(a)
+        left.merge_snapshot(b)
+        right.merge_snapshot(b)
+        right.merge_snapshot(a)
+        assert left.snapshot().to_dict() == right.snapshot().to_dict()
+
+    def test_bucket_layout_mismatch_rejected(self):
+        registry = MetricsRegistry()
+        registry.histogram("lat", buckets=(1.0, 2.0)).observe(0.5)
+        other = MetricsRegistry()
+        other.histogram("lat", buckets=DEFAULT_BUCKETS).observe(0.5)
+        with pytest.raises(ConfigurationError, match="bucket layouts differ"):
+            registry.merge_snapshot(other.snapshot())
+
+    def test_merge_into_empty_registry_reproduces(self):
+        snapshot = self._snapshot(2, 4, [0.01])
+        registry = MetricsRegistry()
+        registry.merge_snapshot(snapshot)
+        assert registry.snapshot().to_dict() == snapshot.to_dict()

@@ -1,0 +1,114 @@
+"""Profiled key wrappers: op accounting without behavioural drift."""
+
+import random
+
+import pytest
+
+from repro.crypto.paillier import generate_keypair
+from repro.obs import KeyProfiler, OpProfile, pow_mul_estimate, profile_keypair
+
+
+@pytest.fixture()
+def profiled():
+    return profile_keypair(generate_keypair(128, seed=54321))
+
+
+class TestPowMulEstimate:
+    @pytest.mark.parametrize(
+        ("exponent", "muls"),
+        [
+            (0, 0),
+            (1, 0),
+            (2, 1),  # one squaring
+            (3, 2),  # one squaring + one multiply
+            (0b1011, 5),  # 3 squarings + 2 multiplies
+        ],
+    )
+    def test_square_and_multiply_counts(self, exponent, muls):
+        got_muls, work = pow_mul_estimate(exponent, 64)
+        assert got_muls == muls
+        assert work == muls  # (64/64)^2 == 1
+
+    def test_work_scales_quadratically_with_modulus(self):
+        _, small = pow_mul_estimate(255, 64)
+        _, large = pow_mul_estimate(255, 128)
+        assert large == 4 * small
+
+
+class TestProfiledKeys:
+    def test_answers_identical_to_plain_keys(self, profiled):
+        plain = generate_keypair(128, seed=54321)
+        keys, _ = profiled
+        rng_a, rng_b = random.Random(5), random.Random(5)
+        for m in (0, 1, 12345):
+            c_plain = plain.public_key.encrypt(m, rng=rng_a)
+            c_prof = keys.public_key.encrypt(m, rng=rng_b)
+            assert c_plain.value == c_prof.value
+            assert keys.secret_key.decrypt(c_prof) == m
+
+    def test_ciphertexts_interoperate_with_plain_keys(self, profiled):
+        plain = generate_keypair(128, seed=54321)
+        keys, _ = profiled
+        c = plain.public_key.encrypt(7, rng=random.Random(1))
+        # Profiled secret key accepts a ciphertext made under the plain pk.
+        assert keys.secret_key.decrypt(c) == 7
+
+    def test_encrypt_and_decrypt_paths_accounted(self, profiled):
+        keys, profiler = profiled
+        rng = random.Random(9)
+        c = keys.public_key.encrypt(42, rng=rng)
+        keys.secret_key.decrypt(c)
+        assert profiler.ops["encrypt"].calls == 1
+        assert profiler.ops["encrypt"].bigint_muls > 0
+        assert profiler.ops["decrypt.crt"].calls == 1
+        assert "decrypt.generic" not in profiler.ops
+
+    def test_generic_fallback_accounted_separately(self, profiled):
+        keys, profiler = profiled
+        c = keys.public_key.encrypt(42, rng=random.Random(9))
+        keys.secret_key.decrypt(c, use_crt=False)
+        assert profiler.ops["decrypt.generic"].calls == 1
+        assert "decrypt.crt" not in profiler.ops
+
+    def test_crt_estimated_cheaper_than_generic(self, profiled):
+        """The analytic model must agree that CRT halves the limb work."""
+        keys, profiler = profiled
+        rng = random.Random(3)
+        c = keys.public_key.encrypt(5, rng=rng)
+        keys.secret_key.decrypt(c)
+        keys.secret_key.decrypt(c, use_crt=False)
+        assert (
+            profiler.ops["decrypt.crt"].mul_work
+            < profiler.ops["decrypt.generic"].mul_work
+        )
+
+    def test_rerandomize_accounted(self, profiled):
+        keys, profiler = profiled
+        rng = random.Random(2)
+        c = keys.public_key.encrypt(5, rng=rng)
+        keys.public_key.rerandomize(c, rng)
+        assert profiler.ops["rerandomize"].calls == 1
+
+    def test_insecure_encrypt_cost_is_small(self, profiled):
+        keys, profiler = profiled
+        keys.public_key.encrypt(5, secure=False)
+        assert profiler.ops["encrypt"].bigint_muls == 2  # 2s with s=1
+
+
+class TestProfileSerialization:
+    def test_wall_time_excluded_by_default(self):
+        profile = OpProfile()
+        profile.record(3, 12.0, 0.5)
+        assert "wall_seconds" not in profile.to_dict()
+        assert profile.to_dict(include_wall=True)["wall_seconds"] == 0.5
+
+    def test_profiler_merge_and_sorted_dict(self):
+        a, b = KeyProfiler(), KeyProfiler()
+        a.profile("encrypt").record(1, 1.0, 0.0)
+        b.profile("encrypt").record(2, 2.0, 0.0)
+        b.profile("decrypt.crt").record(3, 3.0, 0.0)
+        a.merge(b)
+        data = a.to_dict()
+        assert list(data) == ["decrypt.crt", "encrypt"]
+        assert data["encrypt"]["calls"] == 2
+        assert data["encrypt"]["bigint_muls"] == 3

@@ -1,0 +1,183 @@
+"""Observability must be invisible when off and exact when on.
+
+Three contracts:
+
+1. ``obs=None`` (the default) is byte-identical to the pre-observability
+   code: a pinned serving fixture's ``answers_digest`` and full-report
+   SHA-256 must never move (the ``guard=None`` / ``transport=None``
+   regression pattern).
+2. ``obs=Observability()`` changes *observations only*: answers and comm
+   bytes match the bare run for every protocol.
+3. With tracing on, a round span's encryption / decryption / kGNN-query
+   attributes equal ``CostModel.predict_ops`` exactly — the ISSUE's
+   acceptance criterion tying traces to the cost model.
+"""
+
+import hashlib
+import json
+
+import numpy as np
+import pytest
+
+from repro.core.config import PPGNNConfig
+from repro.core.group import run_ppgnn
+from repro.core.lsp import LSPServer
+from repro.core.naive import run_naive
+from repro.core.opt import run_ppgnn_opt
+from repro.datasets.synthetic import clustered_pois
+from repro.geometry.space import LocationSpace
+from repro.obs import Observability
+from repro.serve.costs import CostModel
+from repro.serve.engine import ServeConfig, ServeEngine, ServingReport
+from repro.serve.workload import WorkloadSpec, generate_workload
+
+# Pinned from the pre-observability serving engine (12-query fixture).
+EXPECTED_ANSWERS_DIGEST = (
+    "22ffdc8b6366ab98e6f29a79996e63086759d12b65a4bfae08f5be09c4bd795e"
+)
+EXPECTED_REPORT_SHA256 = (
+    "e08461ed684a8aad064e5b0ee649c003cac31dfc39965f92d2e855bffd8bd461"
+)
+
+_RUNNERS = {
+    "ppgnn": run_ppgnn,
+    "ppgnn-opt": run_ppgnn_opt,
+    "naive": run_naive,
+}
+
+
+@pytest.fixture(scope="module")
+def space():
+    return LocationSpace.unit_square()
+
+
+@pytest.fixture(scope="module")
+def config():
+    return PPGNNConfig(
+        d=3, delta=6, k=3, keysize=128, key_seed=5, sanitation_samples=16
+    )
+
+
+@pytest.fixture(scope="module")
+def workload(space):
+    spec = WorkloadSpec(
+        queries=12,
+        rate_qps=50.0,
+        protocol_mix={"ppgnn": 1.0, "ppgnn-opt": 1.0, "naive": 1.0},
+        group_size_mix={2: 1.0, 3: 1.0},
+        k_mix={3: 1.0},
+        tenants=("t0", "t1"),
+        groups=4,
+        repeat_fraction=0.25,
+        seed=21,
+    )
+    return generate_workload(spec, space)
+
+
+def _make_lsp(space):
+    return LSPServer(
+        clustered_pois(500, space, seed=11), sanitation_samples=16, seed=99
+    )
+
+
+def _run_fixture(space, config, workload, obs: bool):
+    engine = ServeEngine(
+        _make_lsp(space), config, ServeConfig(workers=2, obs=obs)
+    )
+    return engine.run(workload)
+
+
+class TestObsNoneByteIdentical:
+    def test_serving_fixture_digests_pinned(self, space, config, workload):
+        report = _run_fixture(space, config, workload, obs=False)
+        assert report.answers_digest == EXPECTED_ANSWERS_DIGEST
+        sha = hashlib.sha256(
+            json.dumps(report.to_dict(), sort_keys=True).encode()
+        ).hexdigest()
+        assert sha == EXPECTED_REPORT_SHA256
+        assert report.obs is None
+        assert "obs" not in report.to_dict()
+
+    def test_obs_on_changes_observations_only(self, space, config, workload):
+        bare = _run_fixture(space, config, workload, obs=False)
+        observed = _run_fixture(space, config, workload, obs=True)
+        assert observed.answers_digest == bare.answers_digest
+        observed_dict = observed.to_dict()
+        assert observed_dict.pop("obs") is not None
+        assert observed_dict == bare.to_dict()
+
+    def test_obs_run_is_deterministic(self, space, config, workload):
+        a = _run_fixture(space, config, workload, obs=True)
+        b = _run_fixture(space, config, workload, obs=True)
+        assert a.to_dict() == b.to_dict()
+
+    @pytest.mark.parametrize("protocol", sorted(_RUNNERS))
+    def test_direct_runs_match_per_protocol(self, protocol, space, config):
+        rng = np.random.default_rng(42)
+        locations = [space.sample_point(rng) for _ in range(3)]
+        bare = _RUNNERS[protocol](
+            _make_lsp(space), locations, config, seed=7
+        )
+        observed = _RUNNERS[protocol](
+            _make_lsp(space), locations, config, seed=7, obs=Observability()
+        )
+        assert observed.answer_ids == bare.answer_ids
+        assert (
+            observed.report.total_comm_bytes == bare.report.total_comm_bytes
+        )
+
+
+class TestSpanOpsMatchCostModel:
+    @pytest.mark.parametrize("protocol", sorted(_RUNNERS))
+    @pytest.mark.parametrize("n", [2, 3])
+    def test_round_span_counts_equal_predict_ops(
+        self, protocol, n, space, config
+    ):
+        rng = np.random.default_rng(13 + n)
+        locations = [space.sample_point(rng) for _ in range(n)]
+        obs = Observability()
+        _RUNNERS[protocol](_make_lsp(space), locations, config, seed=3, obs=obs)
+        round_span = next(
+            s for s in obs.tracer.spans() if s.name == f"round.{protocol}"
+        )
+        predicted = CostModel().predict_ops(protocol, n, config)
+        assert round_span.attrs["encryptions"] == predicted["encryptions"]
+        assert round_span.attrs["decryptions"] == predicted["decryptions"]
+        assert round_span.attrs["kgnn_queries"] == predicted["kgnn_queries"]
+
+    @pytest.mark.parametrize("protocol", sorted(_RUNNERS))
+    def test_metric_counters_equal_predict_ops(self, protocol, space, config):
+        rng = np.random.default_rng(29)
+        locations = [space.sample_point(rng) for _ in range(3)]
+        obs = Observability()
+        _RUNNERS[protocol](_make_lsp(space), locations, config, seed=5, obs=obs)
+        counters = obs.snapshot().counters
+        predicted = CostModel().predict_ops(protocol, 3, config)
+        assert counters["crypto.encryptions"] == predicted["encryptions"]
+        decryptions = (
+            counters["crypto.decryptions.crt"]
+            + counters["crypto.decryptions.generic"]
+        )
+        assert decryptions == predicted["decryptions"]
+        assert counters["lsp.kgnn_queries"] == predicted["kgnn_queries"]
+
+    def test_predict_ops_unknown_protocol(self, config):
+        from repro.errors import ConfigurationError
+
+        with pytest.raises(ConfigurationError):
+            CostModel().predict_ops("bogus", 3, config)
+
+
+class TestServingReportRoundTrip:
+    def test_to_dict_from_dict_lossless(self, space, config, workload):
+        report = _run_fixture(space, config, workload, obs=True)
+        data = report.to_dict()
+        restored = ServingReport.from_dict(json.loads(json.dumps(data)))
+        assert restored.to_dict() == data
+
+    def test_round_trip_with_wall_fields(self, space, config, workload):
+        report = _run_fixture(space, config, workload, obs=False)
+        data = report.to_dict(include_wall=True)
+        restored = ServingReport.from_dict(data)
+        assert restored.wall_seconds == report.wall_seconds
+        assert restored.to_dict(include_wall=True) == data

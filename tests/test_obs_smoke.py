@@ -1,0 +1,188 @@
+"""The obs-smoke contract: a traced serving run plus targeted error
+scenarios must publish every metric OBSERVABILITY.md documents, and the
+exported trace must parse and form a well-formed (acyclic) span forest.
+
+Run directly by the ``obs-smoke`` CI job.
+"""
+
+import json
+import re
+from pathlib import Path
+
+import pytest
+
+from repro.core.config import PPGNNConfig
+from repro.core.lsp import LSPServer
+from repro.crypto.paillier import generate_keypair
+from repro.datasets.synthetic import clustered_pois
+from repro.errors import (
+    DeadlineExceededError,
+    GuardError,
+    RetryExhaustedError,
+)
+from repro.geometry.space import LocationSpace
+from repro.guard.guard import ProtocolGuard
+from repro.obs import Observability, parse_jsonl, render_span_tree, validate_spans
+from repro.partition.layout import GroupLayout
+from repro.partition.solver import solve_partition
+from repro.protocol.messages import PositionAssignment
+from repro.protocol.metrics import CostLedger
+from repro.serve.engine import ServeConfig, ServeEngine
+from repro.serve.workload import WorkloadSpec, generate_workload
+from repro.transport.channel import FaultyChannel
+from repro.transport.faults import FaultPlan, LinkFaults
+from repro.transport.retry import RetryPolicy
+from repro.transport.transport import NETWORK, Transport
+
+DOC = Path(__file__).resolve().parent.parent / "OBSERVABILITY.md"
+
+
+def documented_metric_names() -> set[str]:
+    """Every name in OBSERVABILITY.md's canonical metric table."""
+    names = set()
+    for line in DOC.read_text(encoding="utf-8").splitlines():
+        match = re.match(r"\|\s*`([a-z0-9_.]+)`\s*\|", line)
+        if match:
+            names.add(match.group(1))
+    return names
+
+
+@pytest.fixture(scope="module")
+def served_report():
+    """20 queries, guard armed, faults on — the main publishing scenario."""
+    space = LocationSpace.unit_square()
+    lsp = LSPServer(
+        clustered_pois(400, space, seed=11), sanitation_samples=16, seed=99
+    )
+    config = PPGNNConfig(
+        d=3, delta=6, k=3, keysize=128, key_seed=5, sanitation_samples=16
+    )
+    spec = WorkloadSpec(
+        queries=20,
+        rate_qps=40.0,
+        protocol_mix={"ppgnn": 1.0, "ppgnn-opt": 1.0, "naive": 1.0},
+        group_size_mix={2: 1.0, 3: 1.0},
+        k_mix={3: 1.0},
+        tenants=("t0", "t1"),
+        groups=5,
+        repeat_fraction=0.2,
+        seed=33,
+    )
+    serve = ServeConfig(
+        workers=2,
+        obs=True,
+        guard=True,
+        faults=FaultPlan.uniform(0.08, seed=7),
+    )
+    return ServeEngine(lsp, config, serve).run(generate_workload(spec, space))
+
+
+def _guard_scenarios() -> Observability:
+    """Drive a round guard into a deadline miss and a state violation."""
+    obs = Observability()
+    keypair = generate_keypair(128, seed=54321)
+    space = LocationSpace.unit_square()
+    guard = ProtocolGuard(deadline_seconds=1.0, obs=obs)
+
+    def arm():
+        return guard.begin(
+            layout=GroupLayout(solve_partition(2, 3, 6)),
+            public_key=keypair.public_key,
+            space=space,
+            ledger=ledger,
+            k=3,
+            answer_m=2,
+        )
+
+    # Deadline miss: network clock already past budget when a hook ticks.
+    ledger = CostLedger()
+    rg = arm()
+    rg.planned()
+    ledger.times[NETWORK] = 5.0
+    with pytest.raises(DeadlineExceededError):
+        rg.position_delivered(0, PositionAssignment(position=1))
+
+    # State violation: planning twice is out of choreography.
+    ledger = CostLedger()
+    rg = arm()
+    rg.planned()
+    with pytest.raises(GuardError):
+        rg.planned()
+    return obs
+
+
+def _exhaustion_scenario() -> Observability:
+    """A dead link defeats the retry budget."""
+    obs = Observability()
+    plan = FaultPlan(default=LinkFaults(drop=0.99), seed=1)
+    transport = Transport(
+        channel=FaultyChannel(plan),
+        policy=RetryPolicy(max_attempts=2, base_backoff_seconds=0.0),
+        obs=obs,
+    )
+    with pytest.raises(RetryExhaustedError):
+        transport.deliver(
+            CostLedger(), "coordinator", "lsp", PositionAssignment(position=0)
+        )
+    return obs
+
+
+class TestObsSmoke:
+    def test_twenty_queries_complete(self, served_report):
+        assert served_report.queries == 20
+        assert served_report.completed + served_report.failed == 20
+        assert served_report.obs is not None
+
+    def test_trace_jsonl_parses_and_is_acyclic(self, served_report, tmp_path):
+        trace_path = tmp_path / "trace.jsonl"
+        with trace_path.open("w", encoding="utf-8") as fh:
+            for span in served_report.obs["spans"]:
+                fh.write(json.dumps(span, sort_keys=True) + "\n")
+        spans = parse_jsonl(trace_path.read_text(encoding="utf-8"))
+        assert spans, "a 20-query traced run must export spans"
+        validate_spans(spans)  # duplicate ids, missing parents, cycles
+        assert render_span_tree(spans)  # renders without raising
+
+    def test_span_names_cover_the_protocol_layers(self, served_report):
+        names = {span["name"] for span in served_report.obs["spans"]}
+        assert "session.query" in names
+        assert names & {"round.ppgnn", "round.ppgnn-opt", "round.naive"}
+        assert "coordinator.decrypt" in names
+        assert "transport.send" in names
+
+    def test_every_documented_metric_is_published(self, served_report):
+        documented = documented_metric_names()
+        assert len(documented) >= 22, "metric table went missing from the doc"
+        metrics = served_report.obs["metrics"]
+        published = (
+            set(metrics["counters"])
+            | set(metrics["gauges"])
+            | set(metrics["histograms"])
+        )
+        published |= _guard_scenarios().snapshot().names
+        published |= _exhaustion_scenario().snapshot().names
+        missing = documented - published
+        assert not missing, f"documented but never published: {sorted(missing)}"
+
+    def test_no_undocumented_metrics_leak(self, served_report):
+        """The doc table is the registry of record — additions go there."""
+        documented = documented_metric_names()
+        metrics = served_report.obs["metrics"]
+        published = (
+            set(metrics["counters"])
+            | set(metrics["gauges"])
+            | set(metrics["histograms"])
+        )
+        undocumented = published - documented
+        assert not undocumented, f"published but not documented: {sorted(undocumented)}"
+
+    def test_faulty_run_published_transport_reliability_metrics(self, served_report):
+        counters = served_report.obs["metrics"]["counters"]
+        assert counters["transport.messages"] > 0
+        assert counters["transport.retries"] > 0
+        assert counters["transport.corrupt_rejected"] > 0
+        assert counters["guard.rounds"] > 0
+
+    def test_latency_histogram_observed_every_planned_job(self, served_report):
+        hist = served_report.obs["metrics"]["histograms"]["serve.latency_seconds"]
+        assert hist["count"] == served_report.completed + served_report.failed

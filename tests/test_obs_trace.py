@@ -1,0 +1,159 @@
+"""The logical-tick tracer: spans, export, merging, validation, rendering."""
+
+import pytest
+
+from repro.errors import ConfigurationError, ReproError
+from repro.obs import (
+    Span,
+    Tracer,
+    merge_span_groups,
+    parse_jsonl,
+    render_span_tree,
+    slowest_path,
+    validate_spans,
+)
+
+
+def _tree(tracer: Tracer) -> None:
+    with tracer.span("root", protocol="ppgnn"):
+        with tracer.span("child-a"):
+            with tracer.span("leaf"):
+                pass
+        with tracer.span("child-b", cost=100.0):
+            pass
+
+
+class TestTracer:
+    def test_parenting_and_finish_order(self):
+        tracer = Tracer()
+        _tree(tracer)
+        spans = tracer.spans()
+        assert [s.name for s in spans] == ["leaf", "child-a", "child-b", "root"]
+        by_name = {s.name: s for s in spans}
+        assert by_name["root"].parent_id is None
+        assert by_name["child-a"].parent_id == by_name["root"].span_id
+        assert by_name["leaf"].parent_id == by_name["child-a"].span_id
+
+    def test_logical_clock_is_deterministic(self):
+        a, b = Tracer(), Tracer()
+        _tree(a)
+        _tree(b)
+        assert a.export_jsonl() == b.export_jsonl()
+
+    def test_ticks_count_enclosed_events(self):
+        tracer = Tracer()
+        _tree(tracer)
+        root = tracer.spans()[-1]
+        # 8 events total: root's own start/end bracket the other 6.
+        assert root.start == 0 and root.end == 7
+        assert root.ticks == 7
+
+    def test_ring_buffer_eviction_never_orphans(self):
+        tracer = Tracer(capacity=3)
+        _tree(tracer)
+        assert tracer.dropped == 1  # "leaf" fell out
+        validate_spans(tracer.spans())
+
+    def test_capacity_validated(self):
+        with pytest.raises(ConfigurationError):
+            Tracer(capacity=0)
+
+    def test_set_attrs_after_open(self):
+        tracer = Tracer()
+        with tracer.span("x") as span:
+            span.set(count=3)
+        assert tracer.spans()[0].attrs == {"count": 3}
+
+
+class TestJsonl:
+    def test_round_trip(self):
+        tracer = Tracer()
+        _tree(tracer)
+        parsed = parse_jsonl(tracer.export_jsonl())
+        assert [s.to_dict() for s in parsed] == [
+            s.to_dict() for s in tracer.spans()
+        ]
+
+    def test_blank_lines_ignored(self):
+        tracer = Tracer()
+        _tree(tracer)
+        padded = "\n" + tracer.export_jsonl().replace("\n", "\n\n") + "\n"
+        assert len(parse_jsonl(padded)) == 4
+
+    def test_bad_line_reported_with_number(self):
+        with pytest.raises(ReproError, match="line 2"):
+            parse_jsonl('{"span_id": 1, "name": "a", "start": 0}\nnot json')
+
+
+class TestMergeSpanGroups:
+    def _group(self, offset: int = 0) -> list[Span]:
+        tracer = Tracer()
+        with tracer.span(f"root-{offset}"):
+            with tracer.span("inner"):
+                pass
+        return tracer.spans()
+
+    def test_ids_remapped_without_collision(self):
+        merged = merge_span_groups([self._group(0), self._group(1)])
+        ids = [s.span_id for s in merged]
+        assert len(ids) == len(set(ids)) == 4
+        validate_spans(merged)
+
+    def test_group_order_is_deterministic(self):
+        a = merge_span_groups([self._group(0), self._group(1)])
+        b = merge_span_groups([self._group(0), self._group(1)])
+        assert [s.to_dict() for s in a] == [s.to_dict() for s in b]
+
+    def test_roots_reparented(self):
+        merged = merge_span_groups([self._group()], parent_id=99)
+        roots = [s for s in merged if s.name.startswith("root")]
+        assert roots[0].parent_id == 99
+
+    def test_empty_groups_skipped(self):
+        assert merge_span_groups([[], self._group(), []]) == merge_span_groups(
+            [self._group()]
+        )
+
+
+class TestValidation:
+    def test_duplicate_id_rejected(self):
+        spans = [Span(1, None, "a", 0, 1), Span(1, None, "b", 2, 3)]
+        with pytest.raises(ReproError, match="duplicate"):
+            validate_spans(spans)
+
+    def test_missing_parent_rejected(self):
+        with pytest.raises(ReproError, match="missing parent"):
+            validate_spans([Span(1, 7, "a", 0, 1)])
+
+    def test_cycle_rejected(self):
+        spans = [Span(1, 2, "a", 0, 1), Span(2, 1, "b", 2, 3)]
+        with pytest.raises(ReproError, match="cycle"):
+            validate_spans(spans)
+
+
+class TestSlowestPathAndRender:
+    def test_slowest_path_follows_explicit_cost(self):
+        tracer = Tracer()
+        _tree(tracer)
+        names = [s.name for s in slowest_path(tracer.spans())]
+        # child-b carries cost=100, dwarfing child-a's ticks.
+        assert names == ["root", "child-b"]
+
+    def test_render_marks_hot_path_and_footer(self):
+        tracer = Tracer()
+        _tree(tracer)
+        text = render_span_tree(tracer.spans())
+        assert "* root" in text
+        assert "*   child-b" in text
+        assert "  child-a" in text  # not marked
+        assert text.endswith("slowest path: root -> child-b")
+
+    def test_render_shows_sorted_attrs(self):
+        tracer = Tracer()
+        with tracer.span("x", b=2, a=1):
+            pass
+        assert "[a=1 b=2]" in render_span_tree(tracer.spans())
+
+    def test_empty_forest_renders_empty(self):
+        assert slowest_path([]) == []
+        assert render_span_tree([]) == ""
