@@ -43,13 +43,17 @@ def serve_runs(lsp, settings):
     runs = {}
     for executor in ("serial", "process"):
         serve = ServeConfig(
-            workers=WORKERS, executor=executor, policy="fifo", knn_cache_size=128
+            workers=WORKERS,
+            executor=executor,
+            policy="fifo",
+            knn_cache_size=128,
+            obs=True,
         )
         runs[executor] = ServeEngine(lsp, config, serve).run(workload)
     return config, runs
 
 
-def test_serve_throughput(serve_runs, recorder):
+def test_serve_throughput(serve_runs, recorder, sentinel):
     config, runs = serve_runs
     serial, pooled = runs["serial"], runs["process"]
     speedup = (
@@ -76,6 +80,17 @@ def test_serve_throughput(serve_runs, recorder):
             "repeat_fraction": SPEC.repeat_fraction,
             "seed": SPEC.seed,
         },
+        metrics=(pooled.obs or {}).get("metrics"),
+    )
+    # Baseline gate: exact counters (ops, bytes, cache hits) must not
+    # regress when the sentinel is armed via REPRO_BENCH_CHECK_BASELINE.
+    from repro.bench.sentinel import serving_report_metrics
+
+    sentinel.gate(
+        "serve",
+        serving_report_metrics(pooled.to_dict(include_wall=False)),
+        keysize=KEYSIZE,
+        config={"queries": SPEC.queries, "seed": SPEC.seed, "workers": WORKERS},
     )
     recorder.note(
         "serve",

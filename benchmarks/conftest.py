@@ -8,15 +8,24 @@ persisted under ``benchmarks/results/``.
 
 from __future__ import annotations
 
+import sys
 from pathlib import Path
 
-import pytest
+# Make ``pytest benchmarks/`` work from the repo root *and* from inside
+# ``benchmarks/`` itself: the library lives in ``../src`` relative to this
+# file, which a relative ``PYTHONPATH=src`` only covers from the root.
+_SRC = str(Path(__file__).resolve().parent.parent / "src")
+if _SRC not in sys.path:
+    sys.path.insert(0, _SRC)
 
-from repro.bench.harness import BenchSettings
-from repro.bench.recorder import SeriesRecorder
-from repro.core.config import PPGNNConfig
-from repro.core.lsp import LSPServer
-from repro.datasets.sequoia import load_sequoia
+import pytest  # noqa: E402
+
+from repro.bench.harness import BenchSettings  # noqa: E402
+from repro.bench.recorder import SeriesRecorder  # noqa: E402
+from repro.bench.sentinel import BenchSentinel  # noqa: E402
+from repro.core.config import PPGNNConfig  # noqa: E402
+from repro.core.lsp import LSPServer  # noqa: E402
+from repro.datasets.sequoia import load_sequoia  # noqa: E402
 
 
 @pytest.fixture(scope="session")
@@ -41,6 +50,17 @@ def lsp(settings, pois) -> LSPServer:
 @pytest.fixture(scope="session")
 def recorder() -> SeriesRecorder:
     return SeriesRecorder(Path(__file__).parent / "results")
+
+
+@pytest.fixture(scope="session")
+def sentinel() -> BenchSentinel:
+    """The performance sentinel, armed via REPRO_BENCH_* env variables.
+
+    Disarmed (record=False, check=False) unless
+    ``REPRO_BENCH_RECORD_BASELINE`` / ``REPRO_BENCH_CHECK_BASELINE`` is
+    set, so plain benchmark runs never fail on baseline drift.
+    """
+    return BenchSentinel.from_env(Path(__file__).parent / "baselines")
 
 
 def make_config(settings: BenchSettings, **overrides) -> PPGNNConfig:

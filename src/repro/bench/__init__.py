@@ -15,13 +15,39 @@ from repro.bench.harness import (
     measure_protocol,
     print_series_table,
 )
+from repro.bench.sentinel import (
+    BASELINE_SCHEMA_VERSION,
+    BaselineComparison,
+    BaselineRecord,
+    BaselineStore,
+    BenchSentinel,
+    MetricDelta,
+    MetricSpec,
+    classify_metric,
+    compare_metrics,
+    compare_to_baseline,
+    render_markdown,
+    serving_report_metrics,
+)
 
 __all__ = [
+    "BASELINE_SCHEMA_VERSION",
+    "BaselineComparison",
+    "BaselineRecord",
+    "BaselineStore",
+    "BenchSentinel",
     "BenchSettings",
     "MeasuredCosts",
-    "measure_protocol",
+    "MetricDelta",
+    "MetricSpec",
     "average_runs",
-    "print_series_table",
+    "classify_metric",
+    "compare_metrics",
+    "compare_to_baseline",
     "format_bytes",
     "format_seconds",
+    "measure_protocol",
+    "print_series_table",
+    "render_markdown",
+    "serving_report_metrics",
 ]

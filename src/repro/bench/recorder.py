@@ -20,6 +20,12 @@ from pathlib import Path
 from typing import Mapping, Sequence
 
 from repro.bench.harness import print_series_table
+from repro.errors import ReproError
+
+#: Version of the ``BENCH_*.json`` document layout.  v1 documents carried
+#: no version stamp; v2 added ``schema_version`` and the optional
+#: ``metrics`` observability snapshot.
+RECORD_SCHEMA_VERSION = 2
 
 
 def git_sha(cwd: str | Path | None = None) -> str:
@@ -77,22 +83,44 @@ class SeriesRecorder:
         results: Mapping | Sequence,
         keysize: int | None = None,
         config: Mapping | None = None,
+        metrics: Mapping | None = None,
+        force: bool = False,
     ) -> Path:
         """Write ``BENCH_<experiment>.json`` with a full provenance stamp.
 
         ``results`` is the experiment's payload (must be JSON-encodable);
-        ``keysize`` and ``config`` record the parameters that produced it.
-        The file is overwritten wholesale — a BENCH json always describes
-        exactly one run.
+        ``keysize`` and ``config`` record the parameters that produced it,
+        and ``metrics`` (an observability snapshot dict, e.g.
+        ``MetricsSnapshot.to_dict()``) rides along when the run was
+        traced.  The file is overwritten wholesale — a BENCH json always
+        describes exactly one run — **except** across schema versions: a
+        record written by a different library generation is refused
+        (``force=True`` overrides) so a stale document is never silently
+        replaced by one with an incompatible shape, or vice versa.
         """
         path = self.directory / f"BENCH_{experiment}.json"
+        if path.exists() and not force:
+            try:
+                with open(path, encoding="utf-8") as handle:
+                    existing = json.load(handle).get("schema_version", 1)
+            except (json.JSONDecodeError, OSError, AttributeError):
+                existing = None
+            if existing is not None and existing != RECORD_SCHEMA_VERSION:
+                raise ReproError(
+                    f"{path} holds a schema v{existing} record; this library "
+                    f"writes v{RECORD_SCHEMA_VERSION}.  Refusing to silently "
+                    "overwrite — delete the file or pass force=True."
+                )
         document = {
+            "schema_version": RECORD_SCHEMA_VERSION,
             "experiment": experiment,
             "git_sha": git_sha(self.directory),
             "keysize": keysize,
             "config": dict(config) if config is not None else {},
             "results": results,
         }
+        if metrics is not None:
+            document["metrics"] = dict(metrics)
         with open(path, "w") as handle:
             json.dump(document, handle, indent=2, sort_keys=True)
             handle.write("\n")

@@ -14,7 +14,15 @@ Installed as the ``repro`` console script:
   report,
 - ``repro trace`` — render a span tree: either from a recorded JSONL
   trace (``--input``) or by running one traced query, flagging the
-  slowest path and printing the metric counters it published.
+  slowest path and printing the metric counters it published,
+- ``repro analyze`` — trace analytics: per-phase attribution
+  (crypto/transport/queue/compute), the exact critical path, queue-delay
+  attribution, per-query op counts, and SLO evaluation over a recorded
+  trace or serving report,
+- ``repro perf-check`` — the performance sentinel: run a pinned
+  per-protocol workload, record (``--record``) or check its exact
+  counters and timings against ``benchmarks/baselines/``, and exit
+  nonzero when an exact counter regressed.
 """
 
 from __future__ import annotations
@@ -41,6 +49,15 @@ from repro.partition.solver import solve_partition
 _PROTOCOLS = {
     "ppgnn": run_ppgnn,
     "opt": run_ppgnn_opt,
+    "naive": run_naive,
+}
+
+#: Canonical protocol names the sentinel baselines are keyed by.
+_PERF_PROTOCOLS = ("ppgnn", "ppgnn-opt", "naive")
+
+_PERF_RUNNERS = {
+    "ppgnn": run_ppgnn,
+    "ppgnn-opt": run_ppgnn_opt,
     "naive": run_naive,
 }
 
@@ -154,6 +171,85 @@ def build_parser() -> argparse.ArgumentParser:
     trace.add_argument(
         "--out", metavar="FILE", default=None,
         help="also write the captured trace as JSONL (live mode)",
+    )
+    trace.add_argument(
+        "--allow-truncated", action="store_true",
+        help="drop a partial last line (killed run) instead of erroring",
+    )
+
+    analyze = sub.add_parser(
+        "analyze",
+        help="phase attribution, critical path, queue delay, and SLOs",
+    )
+    source = analyze.add_mutually_exclusive_group(required=True)
+    source.add_argument(
+        "--input", metavar="FILE", default=None,
+        help="analyze a recorded JSONL span trace",
+    )
+    source.add_argument(
+        "--report", metavar="FILE", default=None,
+        help="analyze a serving report JSON (to_dict output or BENCH_*.json)",
+    )
+    analyze.add_argument(
+        "--allow-truncated", action="store_true",
+        help="drop a partial last trace line instead of erroring",
+    )
+    analyze.add_argument(
+        "--slo-p50", type=float, default=None, metavar="SECONDS",
+        help="simulated latency p50 budget",
+    )
+    analyze.add_argument(
+        "--slo-p95", type=float, default=None, metavar="SECONDS",
+        help="simulated latency p95 budget",
+    )
+    analyze.add_argument(
+        "--slo-p99", type=float, default=None, metavar="SECONDS",
+        help="simulated latency p99 budget",
+    )
+    analyze.add_argument(
+        "--error-budget", type=float, default=None, metavar="FRACTION",
+        help="tolerated failed+rejected fraction (enables SLO evaluation)",
+    )
+    analyze.add_argument(
+        "--queue-budget", type=float, default=None, metavar="SECONDS",
+        help="mean simulated queue-wait budget",
+    )
+
+    perf = sub.add_parser(
+        "perf-check",
+        help="record or check per-protocol perf baselines (the CI gate)",
+    )
+    perf.add_argument(
+        "--baseline-dir", default="benchmarks/baselines",
+        help="baseline store location",
+    )
+    perf.add_argument(
+        "--protocols", nargs="+", default=list(_PERF_PROTOCOLS),
+        choices=list(_PERF_PROTOCOLS), metavar="PROTOCOL",
+        help="protocols to exercise (default: all three)",
+    )
+    perf.add_argument("--pois", type=int, default=300, help="database size")
+    perf.add_argument("--n", type=int, default=3, help="group size")
+    perf.add_argument("--d", type=int, default=3, help="Privacy I parameter")
+    perf.add_argument("--delta", type=int, default=6, help="Privacy II parameter")
+    perf.add_argument("--k", type=int, default=3, help="POIs to retrieve")
+    perf.add_argument("--keysize", type=int, default=128, help="Paillier bits")
+    perf.add_argument("--seed", type=int, default=7, help="pinned workload seed")
+    perf.add_argument(
+        "--record", action="store_true",
+        help="refresh the baselines from this run instead of checking",
+    )
+    perf.add_argument(
+        "--rel-tolerance", type=float, default=0.5, metavar="FRACTION",
+        help="relative tolerance for wall-clock metrics",
+    )
+    perf.add_argument(
+        "--fail-on-timing", action="store_true",
+        help="also exit nonzero on timing regressions beyond the tolerance",
+    )
+    perf.add_argument(
+        "--report-out", metavar="FILE", default=None,
+        help="write the markdown regression report here",
     )
     return parser
 
@@ -313,6 +409,7 @@ def _cmd_serve_bench(args: argparse.Namespace) -> int:
             "serve",
             report.to_dict(include_wall=True),
             keysize=args.keysize,
+            metrics=(report.obs or {}).get("metrics"),
             config={
                 "pois": args.pois,
                 "queries": args.queries,
@@ -335,7 +432,9 @@ def _cmd_trace(args: argparse.Namespace) -> int:
 
     if args.input is not None:
         with open(args.input, encoding="utf-8") as fh:
-            spans = parse_jsonl(fh.read())
+            spans = parse_jsonl(
+                fh.read(), allow_truncated_tail=args.allow_truncated
+            )
         print(render_span_tree(spans))
         return 0
 
@@ -361,6 +460,186 @@ def _cmd_trace(args: argparse.Namespace) -> int:
     return 0
 
 
+def _analyze_policy(args: argparse.Namespace):
+    """An SLOPolicy from the CLI flags, or None when none were given."""
+    from repro.obs import SLOPolicy
+
+    flags = (
+        args.slo_p50, args.slo_p95, args.slo_p99,
+        args.error_budget, args.queue_budget,
+    )
+    if all(flag is None for flag in flags):
+        return None
+    return SLOPolicy(
+        latency_p50=args.slo_p50,
+        latency_p95=args.slo_p95,
+        latency_p99=args.slo_p99,
+        error_budget=args.error_budget if args.error_budget is not None else 0.01,
+        queue_wait_budget=args.queue_budget,
+    )
+
+
+def _cmd_analyze(args: argparse.Namespace) -> int:
+    from repro.obs import (
+        attribute_phases_by_protocol,
+        parse_jsonl,
+        render_attribution,
+    )
+    from repro.obs.analyze import analyze_serve_report, load_report_document
+
+    if args.input is not None:
+        with open(args.input, encoding="utf-8") as fh:
+            spans = parse_jsonl(
+                fh.read(), allow_truncated_tail=args.allow_truncated
+            )
+        print(render_attribution(spans))
+        per_protocol = attribute_phases_by_protocol(spans)
+        if per_protocol:
+            print()
+            print("per-protocol phase shares:")
+            for protocol in sorted(per_protocol):
+                breakdown = per_protocol[protocol]
+                shares = "  ".join(
+                    f"{phase} {breakdown.fraction(phase):.1%}"
+                    for phase in ("crypto", "transport", "queue", "compute")
+                )
+                print(f"  {protocol:<12} {shares}")
+        return 0
+
+    with open(args.report, encoding="utf-8") as fh:
+        report = load_report_document(fh.read())
+    rendered = analyze_serve_report(report, policy=_analyze_policy(args))
+    print(rendered)
+    policy = _analyze_policy(args)
+    if policy is not None:
+        from repro.obs import evaluate_slo
+
+        if not evaluate_slo(report, policy).ok:
+            return 1
+    return 0
+
+
+def _perf_metrics(protocol: str, args: argparse.Namespace) -> dict[str, float]:
+    """Run one pinned query and distill it into sentinel metrics.
+
+    Everything under ``ops.`` / ``comm.`` / ``protocol.`` / ``answers.``
+    is a deterministic function of the seeded workload (exact, zero
+    tolerance); ``time.*`` is wall clock (relative tolerance only).
+    """
+    from repro.core.common import group_keypair
+    from repro.obs import Observability, estimate_modmuls
+
+    config = PPGNNConfig(
+        d=args.d,
+        delta=args.delta,
+        k=args.k,
+        sanitize=args.n > 1,
+        keysize=args.keysize,
+        key_seed=args.seed,
+    )
+    lsp = LSPServer(load_sequoia(args.pois), seed=args.seed)
+    group = random_group(args.n, lsp.space, np.random.default_rng(args.seed))
+    obs = Observability()
+    result = _PERF_RUNNERS[protocol](lsp, group, config, seed=args.seed, obs=obs)
+    counters = obs.snapshot().counters
+    modmuls = estimate_modmuls(counters, group_keypair(config))
+    rounds = sum(
+        1 for span in obs.tracer.spans() if span.name.startswith("round.")
+    )
+    return {
+        "ops.encryptions": counters.get("crypto.encryptions", 0),
+        "ops.decryptions.crt": counters.get("crypto.decryptions.crt", 0),
+        "ops.decryptions.generic": counters.get("crypto.decryptions.generic", 0),
+        "ops.scalar_muls": counters.get("crypto.scalar_muls", 0),
+        "ops.additions": counters.get("crypto.additions", 0),
+        "ops.kgnn_queries": counters.get("lsp.kgnn_queries", 0),
+        "ops.modmuls_estimated": modmuls["total"],
+        "protocol.rounds": rounds,
+        "comm.bytes_total": result.report.total_comm_bytes,
+        "answers.count": len(result.answers),
+        "time.user_seconds": round(result.report.user_cost_seconds, 6),
+        "time.lsp_seconds": round(result.report.lsp_cost_seconds, 6),
+    }
+
+
+def _cmd_perf_check(args: argparse.Namespace) -> int:
+    from repro.bench.recorder import git_sha
+    from repro.bench.sentinel import (
+        BaselineRecord,
+        BaselineStore,
+        compare_to_baseline,
+        render_markdown,
+    )
+
+    store = BaselineStore(args.baseline_dir)
+    workload = {
+        "pois": args.pois,
+        "n": args.n,
+        "d": args.d,
+        "delta": args.delta,
+        "k": args.k,
+        "seed": args.seed,
+    }
+    sha = git_sha()
+    comparisons = []
+    for protocol in args.protocols:
+        metrics = _perf_metrics(protocol, args)
+        if args.record:
+            record = BaselineRecord(
+                experiment=protocol,
+                metrics=metrics,
+                git_sha=sha,
+                keysize=args.keysize,
+                config=workload,
+            )
+            path = store.save(record)
+            print(f"recorded baseline: {path}")
+            comparisons.append(
+                compare_to_baseline(record, metrics, args.rel_tolerance, sha)
+            )
+            continue
+        baseline = store.load(protocol)
+        if baseline.keysize != args.keysize or baseline.config != workload:
+            raise ReproError(
+                f"baseline {protocol!r} was recorded for keysize="
+                f"{baseline.keysize} config={baseline.config}, but this run "
+                f"uses keysize={args.keysize} config={workload}; matching "
+                "workloads are required — re-record or adjust the flags"
+            )
+        comparison = compare_to_baseline(
+            baseline, metrics, args.rel_tolerance, sha
+        )
+        comparisons.append(comparison)
+        exact = comparison.exact_regressions
+        timing = comparison.timing_regressions
+        improved = comparison.improved
+        verdict = "ok" if not exact else "REGRESSED"
+        print(
+            f"{protocol:<10} {verdict}: {len(exact)} exact regression(s), "
+            f"{len(timing)} timing regression(s), {len(improved)} improvement(s)"
+        )
+        for delta in exact + timing:
+            print(
+                f"  regressed {delta.name}: {delta.baseline:g} -> "
+                f"{delta.current:g} ({delta.kind})"
+            )
+        for delta in improved:
+            print(
+                f"  improved  {delta.name}: {delta.baseline:g} -> "
+                f"{delta.current:g}"
+            )
+    if args.report_out:
+        with open(args.report_out, "w", encoding="utf-8") as fh:
+            fh.write(render_markdown(comparisons))
+        print(f"report: {args.report_out}")
+    if args.record:
+        return 0
+    failed = any(not c.ok for c in comparisons)
+    if args.fail_on_timing:
+        failed = failed or any(c.timing_regressions for c in comparisons)
+    return 1 if failed else 0
+
+
 _COMMANDS = {
     "info": _cmd_info,
     "query": _cmd_query,
@@ -368,6 +647,8 @@ _COMMANDS = {
     "solve": _cmd_solve,
     "serve-bench": _cmd_serve_bench,
     "trace": _cmd_trace,
+    "analyze": _cmd_analyze,
+    "perf-check": _cmd_perf_check,
 }
 
 

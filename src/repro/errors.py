@@ -199,3 +199,22 @@ class AdmissionRejectedError(BackpressureError):
         super().__init__(
             f"tenant {tenant!r} over quota: {in_flight} in flight, limit {limit}"
         )
+
+
+class PerfRegressionError(ReproError):
+    """A benchmark run regressed against its committed baseline.
+
+    Raised by the performance sentinel (:mod:`repro.bench.sentinel`) when
+    an exact counter — operation counts, rounds, bytes on the wire —
+    moved the wrong way relative to a recorded baseline.  ``regressions``
+    carries the offending metric deltas so reports can name them.
+    """
+
+    def __init__(self, experiment: str, regressions: list) -> None:
+        self.experiment = experiment
+        self.regressions = regressions
+        names = ", ".join(delta.name for delta in regressions)
+        super().__init__(
+            f"experiment {experiment!r} regressed {len(regressions)} "
+            f"exact counter(s): {names}"
+        )

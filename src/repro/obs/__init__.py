@@ -15,6 +15,25 @@ from __future__ import annotations
 from contextlib import nullcontext
 from dataclasses import dataclass, field
 
+from repro.obs.analyze import (
+    PHASES,
+    PhaseBreakdown,
+    QueueDelaySummary,
+    SLOPolicy,
+    SLOReport,
+    SLOResult,
+    analyze_serve_report,
+    attribute_phases,
+    attribute_phases_by_protocol,
+    classify_phase,
+    critical_path,
+    estimate_modmuls,
+    evaluate_slo,
+    normalized_ops,
+    queue_delay_summary,
+    render_attribution,
+    self_ticks,
+)
 from repro.obs.metrics import (
     DEFAULT_BUCKETS,
     Counter,
@@ -80,6 +99,7 @@ def maybe_span(obs: Observability | None, name: str, **attrs):
 
 __all__ = [
     "DEFAULT_BUCKETS",
+    "PHASES",
     "Counter",
     "Gauge",
     "Histogram",
@@ -88,16 +108,32 @@ __all__ = [
     "MetricsSnapshot",
     "Observability",
     "OpProfile",
+    "PhaseBreakdown",
     "ProfiledPrivateKey",
     "ProfiledPublicKey",
+    "QueueDelaySummary",
+    "SLOPolicy",
+    "SLOReport",
+    "SLOResult",
     "Span",
     "Tracer",
+    "analyze_serve_report",
+    "attribute_phases",
+    "attribute_phases_by_protocol",
+    "classify_phase",
+    "critical_path",
+    "estimate_modmuls",
+    "evaluate_slo",
     "maybe_span",
     "merge_span_groups",
+    "normalized_ops",
     "parse_jsonl",
     "pow_mul_estimate",
     "profile_keypair",
+    "queue_delay_summary",
+    "render_attribution",
     "render_span_tree",
+    "self_ticks",
     "slowest_path",
     "validate_spans",
 ]

@@ -127,16 +127,89 @@ class Tracer:
         return "\n".join(json.dumps(s.to_dict(), sort_keys=True) for s in self.spans())
 
 
-def parse_jsonl(text: str) -> list[Span]:
-    """Inverse of :meth:`Tracer.export_jsonl` (blank lines ignored)."""
+def _span_from_line(data: object, line_no: int) -> Span:
+    """Build a Span from one decoded JSONL line, with strict field checks.
+
+    Interleaved writes from two processes (or a corrupted file) can
+    produce lines that *are* valid JSON but are not span objects — a bare
+    number, a list, a dict with a string ``start``.  Without these checks
+    such lines crash later, deep inside rendering arithmetic; with them
+    the error names the line and the offending field.
+    """
+    if not isinstance(data, dict):
+        raise ReproError(
+            f"trace line {line_no} is valid JSON but not a span object "
+            f"(got {type(data).__name__}); was this file written by "
+            "interleaved processes?"
+        )
+    span = Span.from_dict(data)
+    for label, value, optional in (
+        ("span_id", span.span_id, False),
+        ("start", span.start, False),
+        ("end", span.end, True),
+        ("parent_id", span.parent_id, True),
+    ):
+        if optional and value is None:
+            continue
+        if not isinstance(value, int) or isinstance(value, bool):
+            raise ReproError(
+                f"trace line {line_no} field {label!r} must be an integer, "
+                f"got {value!r}"
+            )
+    if not isinstance(span.name, str):
+        raise ReproError(
+            f"trace line {line_no} field 'name' must be a string, "
+            f"got {span.name!r}"
+        )
+    return span
+
+
+def parse_jsonl(text: str, allow_truncated_tail: bool = False) -> list[Span]:
+    """Inverse of :meth:`Tracer.export_jsonl` (blank lines ignored).
+
+    A killed run can leave a *partial last line* behind; that line does
+    not decode, and the error says so explicitly instead of a generic
+    parse failure.  With ``allow_truncated_tail=True`` the partial tail
+    is dropped and the intact prefix is returned — the ``repro trace
+    --input --allow-truncated`` recovery path.  Spans are exported in
+    finish order (parents after children), so losing the tail loses the
+    outermost parents: spans orphaned by the cut are re-rooted
+    (``parent_id=None``) so the prefix still validates and renders.
+    Truncation forgiveness only ever applies to the final non-blank
+    line; garbage in the middle of the file always raises.
+    """
     spans = []
-    for line_no, line in enumerate(text.splitlines(), start=1):
+    lines = text.splitlines()
+    last_line_no = max(
+        (i for i, line in enumerate(lines, start=1) if line.strip()), default=0
+    )
+    for line_no, line in enumerate(lines, start=1):
         if not line.strip():
             continue
         try:
-            spans.append(Span.from_dict(json.loads(line)))
-        except (json.JSONDecodeError, KeyError, TypeError) as exc:
-            raise ReproError(f"trace line {line_no} does not parse: {exc}") from exc
+            data = json.loads(line)
+        except json.JSONDecodeError as exc:
+            if line_no == last_line_no:
+                if allow_truncated_tail:
+                    retained = {span.span_id for span in spans}
+                    for span in spans:
+                        if span.parent_id not in retained:
+                            span.parent_id = None
+                    break
+                raise ReproError(
+                    f"trace line {line_no} (the last line) is truncated — "
+                    "likely a killed run; re-run with --allow-truncated to "
+                    f"render the intact prefix ({exc})"
+                ) from exc
+            raise ReproError(
+                f"trace line {line_no} does not parse: {exc}"
+            ) from exc
+        try:
+            spans.append(_span_from_line(data, line_no))
+        except (KeyError, TypeError, ValueError) as exc:
+            raise ReproError(
+                f"trace line {line_no} does not parse: {exc}"
+            ) from exc
     return spans
 
 

