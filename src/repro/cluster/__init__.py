@@ -1,0 +1,48 @@
+"""repro.cluster — sharded scatter–gather serving over partitioned LSPs.
+
+The paper's protocols assume one always-available LSP; a production
+deployment partitions the POI database across shards, replicates each
+shard, and treats partial failure as the normal case.  This package adds
+that layer *around* the unmodified protocol stack:
+
+- :mod:`~repro.cluster.config` — :class:`ClusterConfig`, the validated
+  knob set (shards, replicas, quorum, hedging, partition strategy),
+- :mod:`~repro.cluster.topology` — :class:`ClusterTopology`, the
+  deterministic shard map built via :mod:`repro.partition.spatial`,
+- :mod:`~repro.cluster.routing` — :class:`HashRing`, consistent hashing
+  of (tenant, group) onto per-shard replica preference lists,
+- :mod:`~repro.cluster.faults` — :class:`ShardFaultPlan`, seeded shard
+  kills / slow starts / flaps (the shard-level sibling of
+  :class:`~repro.transport.faults.FaultPlan`),
+- :mod:`~repro.cluster.merge` — the deterministic answer merge and the
+  typed :class:`PartialAnswer` degradation result,
+- :mod:`~repro.cluster.scatter` — :class:`ClusterRunner`, the per-cell
+  scatter–gather executor with failover, hedging, quorum, and a
+  checkpointable :class:`ScatterState`.
+
+Every encrypted sub-query is a full, unmodified protocol round against
+one shard's LSP, so the privacy argument of the paper applies per shard
+verbatim; the cluster layer only ever sees what the querier (the
+coordinator) would see anyway.
+"""
+
+from repro.cluster.config import ClusterConfig
+from repro.cluster.faults import ReplicaFault, ShardFaultPlan
+from repro.cluster.merge import PartialAnswer, ShardAnswer, merge_answers
+from repro.cluster.routing import HashRing
+from repro.cluster.scatter import ClusterRunner, ClusterStats, ScatterState
+from repro.cluster.topology import ClusterTopology
+
+__all__ = [
+    "ClusterConfig",
+    "ClusterRunner",
+    "ClusterStats",
+    "ClusterTopology",
+    "HashRing",
+    "PartialAnswer",
+    "ReplicaFault",
+    "ScatterState",
+    "ShardAnswer",
+    "ShardFaultPlan",
+    "merge_answers",
+]

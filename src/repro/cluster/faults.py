@@ -1,0 +1,161 @@
+"""Shard-level fault plans: seeded kills, slow starts, and flaps.
+
+The shard-level sibling of :class:`repro.transport.faults.FaultPlan`.
+Where a transport plan misbehaves per *message copy*, a
+:class:`ShardFaultPlan` misbehaves per *sub-query*: a replica can be
+killed after serving some number of sub-queries, run slow while it warms
+up, or flap (go down and come back) over windows of the serving cell's
+sub-query sequence.  The interpreter state
+(:class:`ShardFaultState`) is a pure function of the plan and the
+cell-local sub-query order, so a plan replays the exact same failure
+schedule every run — in serial and multiprocessing execution alike —
+and can be frozen into a mid-scatter checkpoint.
+
+Mappings are plain dicts (not ``MappingProxyType``) so a plan pickles
+across the multiprocessing boundary unchanged; treat plans as immutable
+by convention, like every other frozen config in this library.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass, field
+from typing import Mapping
+
+from repro.errors import ConfigurationError
+
+
+@dataclass(frozen=True, slots=True)
+class ReplicaFault:
+    """The scripted misbehavior of one (shard, replica) pair.
+
+    Attributes
+    ----------
+    kill_after:
+        Dead after serving this many sub-queries (``0`` = dead from the
+        start, mid-workload for larger values); ``None`` never dies.
+    slow_start:
+        The replica's first ``slow_start`` sub-queries take
+        ``slow_factor`` times the predicted service time (a cold cache /
+        JIT warm-up model) — slow enough replicas trigger hedging.
+    slow_factor:
+        Service-time multiplier during the slow-start window.
+    down:
+        Flap windows: half-open ``[start, stop)`` intervals of the serving
+        cell's global sub-query sequence during which the replica refuses
+        service (it recovers afterwards, unlike a kill).
+    """
+
+    kill_after: int | None = None
+    slow_start: int = 0
+    slow_factor: float = 1.0
+    down: tuple[tuple[int, int], ...] = ()
+
+    def __post_init__(self) -> None:
+        if self.kill_after is not None and self.kill_after < 0:
+            raise ConfigurationError("kill_after must be non-negative or None")
+        if self.slow_start < 0:
+            raise ConfigurationError("slow_start must be non-negative")
+        if self.slow_factor < 1.0:
+            raise ConfigurationError("slow_factor must be >= 1.0")
+        for start, stop in self.down:
+            if start < 0 or stop <= start:
+                raise ConfigurationError(
+                    f"down window [{start}, {stop}) must be non-empty and "
+                    "non-negative"
+                )
+
+
+@dataclass(frozen=True)
+class ShardFaultPlan:
+    """Scripted shard failures, keyed by ``(shard, replica)``.
+
+    ``seed`` feeds the deterministic latency jitter added to simulated
+    sub-query durations; the failure schedule itself is fully scripted.
+    """
+
+    replicas: Mapping[tuple[int, int], ReplicaFault] = field(default_factory=dict)
+    seed: int = 0
+    jitter_seconds: float = 0.0
+
+    def __post_init__(self) -> None:
+        for key in self.replicas:
+            shard, replica = key
+            if shard < 0 or replica < 0:
+                raise ConfigurationError(
+                    f"replica key {key!r} must be non-negative"
+                )
+        if self.jitter_seconds < 0:
+            raise ConfigurationError("jitter_seconds must be non-negative")
+
+    @classmethod
+    def killing(
+        cls, kills: Mapping[tuple[int, int], int], seed: int = 0
+    ) -> "ShardFaultPlan":
+        """A plan that only kills: ``(shard, replica) -> kill_after``."""
+        replicas = {key: ReplicaFault(kill_after=m) for key, m in kills.items()}
+        return cls(replicas=replicas, seed=seed)
+
+    def for_replica(self, shard: int, replica: int) -> ReplicaFault:
+        """The scripted faults of one replica (healthy by default)."""
+        return self.replicas.get((shard, replica), _HEALTHY)
+
+    def jitter(self, job_id: int, shard: int, replica: int) -> float:
+        """Deterministic per-sub-query latency jitter in ``[0, jitter_seconds)``.
+
+        Hash-derived rather than drawn from RNG state, so a resumed
+        mid-scatter run charges the exact same jitter as an uninterrupted
+        one.
+        """
+        if self.jitter_seconds == 0.0:
+            return 0.0
+        key = f"{self.seed}:{job_id}:{shard}:{replica}".encode()
+        word = int.from_bytes(hashlib.sha256(key).digest()[:8], "big")
+        return self.jitter_seconds * word / 2**64
+
+
+_HEALTHY = ReplicaFault()
+
+
+@dataclass
+class ShardFaultState:
+    """The mutable interpreter of one plan within one serving cell.
+
+    Tracks how many sub-queries each replica has served and the cell's
+    global sub-query sequence number — everything needed to answer "is
+    this replica up right now and how slow is it", and small enough to
+    freeze into a scatter checkpoint.
+    """
+
+    plan: ShardFaultPlan | None = None
+    served: dict[tuple[int, int], int] = field(default_factory=dict)
+    sequence: int = 0
+
+    def advance(self) -> int:
+        """Start the next sub-query; returns its global sequence number."""
+        seq = self.sequence
+        self.sequence += 1
+        return seq
+
+    def available(self, shard: int, replica: int, seq: int) -> bool:
+        """Whether the replica can serve the ``seq``-th sub-query."""
+        if self.plan is None:
+            return True
+        fault = self.plan.for_replica(shard, replica)
+        count = self.served.get((shard, replica), 0)
+        if fault.kill_after is not None and count >= fault.kill_after:
+            return False
+        return all(not (start <= seq < stop) for start, stop in fault.down)
+
+    def service_factor(self, shard: int, replica: int) -> float:
+        """The slow-start multiplier for the replica's next sub-query."""
+        if self.plan is None:
+            return 1.0
+        fault = self.plan.for_replica(shard, replica)
+        if self.served.get((shard, replica), 0) < fault.slow_start:
+            return fault.slow_factor
+        return 1.0
+
+    def record_served(self, shard: int, replica: int) -> None:
+        key = (shard, replica)
+        self.served[key] = self.served.get(key, 0) + 1

@@ -1,0 +1,69 @@
+"""Consistent-hash routing of (tenant, group) onto shard replicas.
+
+A query fans out to *every* shard (the merge needs each shard's local
+top-k), so routing does not pick shards — it picks, per shard, which
+*replica* serves a given (tenant, group) and in what failover order.
+:class:`HashRing` is the classic consistent-hash construction: each
+replica contributes ``virtual_nodes`` points on a ring keyed by SHA-256;
+a query key walks the ring clockwise collecting distinct replicas.  The
+walk order is the *preference list*: position 0 is the primary, the rest
+are failover targets (and hedging candidates) in deterministic order.
+
+SHA-256 rather than Python's ``hash`` keeps placement identical across
+processes and interpreter runs — a requirement, not an optimization,
+since bucket cells rebuilt inside multiprocessing workers must route
+every sub-query exactly like the serial executor does.
+"""
+
+from __future__ import annotations
+
+import bisect
+import hashlib
+
+from repro.errors import ConfigurationError
+
+
+def _ring_point(label: str) -> int:
+    return int.from_bytes(hashlib.sha256(label.encode()).digest()[:8], "big")
+
+
+class HashRing:
+    """Per-shard replica rings with deterministic preference lists."""
+
+    def __init__(
+        self, shards: int, replicas: int, virtual_nodes: int = 16, salt: int = 0
+    ) -> None:
+        if shards < 1 or replicas < 1 or virtual_nodes < 1:
+            raise ConfigurationError(
+                "shards, replicas, and virtual_nodes must all be >= 1"
+            )
+        self.shards = shards
+        self.replicas = replicas
+        self._rings: list[list[tuple[int, int]]] = []
+        for shard in range(shards):
+            ring = sorted(
+                (_ring_point(f"{salt}:{shard}:{replica}:{v}"), replica)
+                for replica in range(replicas)
+                for v in range(virtual_nodes)
+            )
+            self._rings.append(ring)
+
+    def preference(self, tenant: str, group_id: int, shard: int) -> tuple[int, ...]:
+        """All replicas of ``shard`` in failover order for one query key."""
+        if not 0 <= shard < self.shards:
+            raise ConfigurationError(f"unknown shard {shard}")
+        ring = self._rings[shard]
+        key = _ring_point(f"key:{tenant}:{group_id}:{shard}")
+        start = bisect.bisect_right(ring, (key, -1)) % len(ring)
+        seen: list[int] = []
+        for i in range(len(ring)):
+            replica = ring[(start + i) % len(ring)][1]
+            if replica not in seen:
+                seen.append(replica)
+                if len(seen) == self.replicas:
+                    break
+        return tuple(seen)
+
+    def route(self, tenant: str, group_id: int, shard: int) -> int:
+        """The primary replica for one (tenant, group, shard) key."""
+        return self.preference(tenant, group_id, shard)[0]

@@ -1,0 +1,70 @@
+"""The deterministic shard map of one cluster.
+
+:class:`ClusterTopology` pins which POI lives on which shard — a pure
+function of the database and the :class:`~repro.cluster.config
+.ClusterConfig`, built via :mod:`repro.partition.spatial`.  Every serving
+cell (serial or multiprocessing) rebuilds the identical topology from the
+same inputs, so the scatter's per-shard sub-queries and the final merge
+agree everywhere.
+
+Replicas are a routing and fault-injection concept, not a data concept:
+all replicas of a shard hold the same POI tuple, so a cell materializes
+one LSP per shard and lets the fault plan decide which *replica
+identity* served (or refused) each sub-query.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Sequence
+
+from repro.cluster.config import ClusterConfig
+from repro.datasets.poi import POI
+from repro.errors import ConfigurationError
+from repro.partition.spatial import partition_pois
+
+
+@dataclass(frozen=True)
+class ClusterTopology:
+    """Disjoint, jointly exhaustive shard assignment of one POI database."""
+
+    shard_pois: tuple[tuple[POI, ...], ...]
+
+    @classmethod
+    def build(cls, pois: Sequence[POI], config: ClusterConfig) -> "ClusterTopology":
+        return cls(partition_pois(pois, config.shards, config.partition))
+
+    @property
+    def shards(self) -> int:
+        return len(self.shard_pois)
+
+    @property
+    def total_pois(self) -> int:
+        return sum(len(cell) for cell in self.shard_pois)
+
+    def poi_count(self, shard: int) -> int:
+        if not 0 <= shard < self.shards:
+            raise ConfigurationError(f"unknown shard {shard}")
+        return len(self.shard_pois[shard])
+
+    def poi_map(self) -> dict[int, POI]:
+        """Authoritative poi_id -> POI over the whole database."""
+        return {
+            poi.poi_id: poi for cell in self.shard_pois for poi in cell
+        }
+
+    def coverage(self, lost_shards: Iterable[int]) -> float:
+        """Fraction of the database still searchable after losing shards.
+
+        POI-count-weighted (not shard-count-weighted): losing a dense
+        shard hurts more than losing a sparse one, and the quorum policy
+        should see that.
+        """
+        lost = set(lost_shards)
+        for shard in lost:
+            if not 0 <= shard < self.shards:
+                raise ConfigurationError(f"unknown shard {shard}")
+        covered = sum(
+            len(cell) for i, cell in enumerate(self.shard_pois) if i not in lost
+        )
+        return covered / self.total_pois

@@ -83,6 +83,7 @@ class ServeConfig:
     deadline_seconds: float | None = None
     obs: bool = False
     cost_model: CostModel = field(default_factory=CostModel)
+    cluster: object | None = None  # a repro.cluster.ClusterConfig, or None
 
     def __post_init__(self) -> None:
         if self.workers < 1:
@@ -99,6 +100,23 @@ class ServeConfig:
             raise ConfigurationError("queue_capacity must be >= 1")
         if self.tenant_quota is not None and self.tenant_quota < 1:
             raise ConfigurationError("tenant_quota must be >= 1 or None")
+        if self.cluster is not None:
+            shards = getattr(self.cluster, "shards", None)
+            if not isinstance(shards, int):
+                raise ConfigurationError(
+                    "cluster must be a repro.cluster.ClusterConfig or None"
+                )
+            if self.executor == "process" and shards > self.workers:
+                # Every one of the `workers` pool processes materializes
+                # all `shards` LSP replicas and serves their sub-queries
+                # serially — oversharding past the process count would
+                # silently serialize with no parallelism to show for the
+                # memory.  (The serial executor is explicitly a
+                # one-process simulation, so it may shard freely.)
+                raise ConfigurationError(
+                    f"{shards} shards exceed {self.workers} workers under "
+                    "the process executor; raise workers or lower shards"
+                )
 
     def runner_options(self, workload_seed: int) -> RunnerOptions:
         from dataclasses import replace
@@ -117,6 +135,7 @@ class ServeConfig:
             guard=self.guard,
             deadline_seconds=self.deadline_seconds,
             obs=self.obs,
+            cluster=self.cluster,
         )
 
 
@@ -201,6 +220,7 @@ class ServingReport:
     rejections: list[RejectedJob]
     answers_digest: str
     obs: dict | None = None
+    cluster: dict | None = None
     outcomes: dict[int, JobOutcome] = field(default_factory=dict, repr=False)
     wall_seconds: float = 0.0
 
@@ -250,6 +270,8 @@ class ServingReport:
         }
         if self.obs is not None:
             data["obs"] = self.obs
+        if self.cluster is not None:
+            data["cluster"] = self.cluster
         if include_wall:
             data["wall_seconds"] = self.wall_seconds
             data["wall_qps"] = self.wall_qps
@@ -304,6 +326,7 @@ class ServingReport:
             ],
             answers_digest=data["answers_digest"],
             obs=data.get("obs"),
+            cluster=data.get("cluster"),
             wall_seconds=data.get("wall_seconds", 0.0),
         )
 
@@ -320,6 +343,11 @@ class ServeEngine:
         self.lsp = lsp
         self.base_config = base_config
         self.serve_config = serve_config or ServeConfig()
+        if self.serve_config.cluster is not None and base_config.sanitize:
+            raise ConfigurationError(
+                "the cluster merge needs unsanitized per-shard answers; "
+                "use a sanitize=False config (PPGNN-NAS) with cluster mode"
+            )
 
     # ------------------------------------------------------------ phase 1
 
@@ -506,13 +534,58 @@ class ServeEngine:
         digest = hashlib.sha256()
         for job_id in sorted(outcomes):
             outcome = outcomes[job_id]
-            digest.update(
+            entry = (
                 f"{job_id}:{','.join(map(str, outcome.answer_ids))}"
-                f":{outcome.comm_bytes}:{outcome.error_type}".encode()
+                f":{outcome.comm_bytes}:{outcome.error_type}"
             )
+            if outcome.partial:
+                # Degraded answers must never digest-collide with full
+                # ones; non-cluster outcomes are never partial, so the
+                # historical digest formula is byte-identical.
+                entry += (
+                    f":partial:{outcome.coverage:.9f}"
+                    f":{','.join(map(str, outcome.lost_shards))}"
+                )
+            digest.update(entry.encode())
 
         makespan = max((slot.finish for slot in planned), default=0.0)
         depths = [depth for _, depth in depth_timeline]
+
+        cluster_section = None
+        if cfg.cluster is not None:
+            from repro.cluster.scatter import ClusterStats
+
+            cs = stats.cluster if stats.cluster is not None else ClusterStats()
+            partials = [o for o in completed if o.partial]
+            cluster_section = {
+                "shards": cfg.cluster.shards,
+                "replicas": cfg.cluster.replicas,
+                "quorum": cfg.cluster.quorum,
+                "subqueries": cs.subqueries,
+                "failovers": cs.failovers,
+                "hedges": cs.hedges,
+                "hedge_wins": cs.hedge_wins,
+                "partial_answers": cs.partial_answers,
+                "shards_lost": cs.shards_lost,
+                "load_imbalance": round(cs.load_imbalance(), 9),
+                "coverage_min": round(
+                    min((o.coverage for o in completed), default=1.0), 9
+                ),
+                "mean_expected_recall": round(
+                    sum(o.expected_recall for o in partials) / len(partials), 9
+                )
+                if partials
+                else 1.0,
+                "per_shard": {
+                    str(shard): {
+                        "subqueries": cs.per_shard_subqueries.get(shard, 0),
+                        "simulated_seconds": round(
+                            cs.per_shard_seconds.get(shard, 0.0), 9
+                        ),
+                    }
+                    for shard in range(cfg.cluster.shards)
+                },
+            }
 
         obs_payload = None
         if cfg.obs:
@@ -574,6 +647,7 @@ class ServeEngine:
             rejections=rejected,
             answers_digest=digest.hexdigest(),
             obs=obs_payload,
+            cluster=cluster_section,
             outcomes=outcomes,
             wall_seconds=wall,
         )

@@ -19,6 +19,7 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass, field, replace
+from typing import TYPE_CHECKING
 
 from repro.core.common import group_keypair
 from repro.core.config import PPGNNConfig
@@ -37,6 +38,9 @@ from repro.serve.workload import GroupProfile, QueryJob
 from repro.transport.channel import FaultyChannel
 from repro.transport.faults import FaultPlan
 from repro.transport.session import ResilientSession
+
+if TYPE_CHECKING:
+    from repro.cluster.scatter import ClusterRunner, ClusterStats
 
 _PROTOCOL_INDEX = {"ppgnn": 0, "ppgnn-opt": 1, "naive": 2}
 
@@ -89,6 +93,7 @@ class RunnerOptions:
     guard: bool = False
     deadline_seconds: float | None = None
     obs: bool = False
+    cluster: object | None = None  # a repro.cluster.ClusterConfig, or None
 
 
 @dataclass(frozen=True, slots=True)
@@ -109,6 +114,13 @@ class JobOutcome:
     comm_bytes: int = 0
     error_type: str | None = None
     error: str | None = None
+    # Cluster degradation provenance.  The defaults describe every
+    # non-cluster outcome, so the digest formula (and the pinned
+    # regression fixtures) are untouched when ``cluster=None``.
+    partial: bool = False
+    coverage: float = 1.0
+    lost_shards: tuple[int, ...] = ()
+    expected_recall: float = 1.0
 
 
 @dataclass
@@ -129,12 +141,19 @@ class BucketStats:
     corrupt_rejected: int = 0
     metrics: MetricsSnapshot | None = None
     spans: tuple = ()
+    cluster: ClusterStats | None = None
 
     def merge(self, other: "BucketStats") -> None:
         self.pool.merge(other.pool)
         self.cache.merge(other.cache)
         self.retransmissions += other.retransmissions
         self.corrupt_rejected += other.corrupt_rejected
+        if other.cluster is not None:
+            if self.cluster is None:
+                from repro.cluster.scatter import ClusterStats
+
+                self.cluster = ClusterStats()
+            self.cluster.merge(other.cluster)
         if other.metrics is not None:
             registry = MetricsRegistry()
             if self.metrics is not None:
@@ -168,7 +187,7 @@ class BucketRunner:
             if options.nonce_pool
             else None
         )
-        if options.knn_cache_size is not None:
+        if options.knn_cache_size is not None and options.cluster is None:
             lsp.engine.set_knn_cache(KnnLRUCache(options.knn_cache_size))
         self._sessions: dict[tuple[int, str, int], QuerySession] = {}
         self.obs = Observability() if options.obs else None
@@ -177,6 +196,28 @@ class BucketRunner:
             if options.guard
             else None
         )
+        self._cluster: ClusterRunner | None = None
+        if options.cluster is not None:
+            # The cell becomes a scatter–gather cluster: its database is
+            # partitioned across shard LSPs (the cell's own LSP is never
+            # queried directly) while nonce pools, guard, observability,
+            # and message-level faults thread through unchanged.  Imported
+            # lazily: repro.cluster reaches back into repro.serve for the
+            # cost model, so a module-level import would be circular.
+            from repro.cluster.scatter import ClusterRunner
+
+            self._cluster = ClusterRunner(
+                lsp,
+                base_config,
+                options.cluster,
+                transport_faults=options.faults,
+                guard=self._guard,
+                obs=self.obs,
+                registry=self.registry,
+                top_up=self._top_up_pool if self.registry is not None else None,
+                deadline_seconds=options.deadline_seconds,
+                knn_cache_size=options.knn_cache_size,
+            )
 
     # ------------------------------------------------------------- sessions
 
@@ -231,6 +272,8 @@ class BucketRunner:
     # ------------------------------------------------------------ execution
 
     def run_job(self, job: QueryJob, group: GroupProfile) -> JobOutcome:
+        if self._cluster is not None:
+            return self._run_cluster_job(job, group)
         config = (
             self.base_config
             if job.k == self.base_config.k
@@ -265,6 +308,34 @@ class BucketRunner:
             comm_bytes=result.report.total_comm_bytes,
         )
 
+    def _run_cluster_job(self, job: QueryJob, group: GroupProfile) -> JobOutcome:
+        """Scatter–gather path: full answer, typed partial, or typed failure."""
+        try:
+            scattered = self._cluster.run_job(job, group)
+        except ReproError as exc:
+            return JobOutcome(
+                job_id=job.job_id,
+                tenant=job.tenant,
+                group_id=job.group_id,
+                protocol=job.protocol,
+                ok=False,
+                error_type=type(exc).__name__,
+                error=str(exc),
+            )
+        return JobOutcome(
+            job_id=job.job_id,
+            tenant=job.tenant,
+            group_id=job.group_id,
+            protocol=job.protocol,
+            ok=True,
+            answer_ids=scattered.answer_ids,
+            comm_bytes=scattered.comm_bytes,
+            partial=scattered.partial,
+            coverage=scattered.coverage,
+            lost_shards=scattered.lost_shards,
+            expected_recall=scattered.expected_recall,
+        )
+
     def stats(self) -> BucketStats:
         stats = BucketStats()
         if self.registry is not None:
@@ -275,6 +346,12 @@ class BucketRunner:
         for session in self._sessions.values():
             transport = getattr(session, "transport", None)
             if transport is not None:
+                stats.retransmissions += transport.stats.retransmissions
+                stats.corrupt_rejected += transport.stats.corrupt_rejected
+        if self._cluster is not None:
+            stats.cluster = self._cluster.stats
+            stats.cache.merge(self._cluster.cache_stats())
+            for transport in self._cluster.transports():
                 stats.retransmissions += transport.stats.retransmissions
                 stats.corrupt_rejected += transport.stats.corrupt_rejected
         if self.obs is not None:

@@ -111,6 +111,58 @@ def _guard_scenarios() -> Observability:
     return obs
 
 
+def _cluster_scenario() -> Observability:
+    """A degraded scatter–gather job publishes every ``cluster.*`` counter.
+
+    Shard 2 is fully dead (failovers, a lost shard, a partial answer);
+    shard 0's primary replica is slow enough to hedge, and the fast
+    secondary wins the race.
+    """
+    from repro.cluster import ClusterConfig, ReplicaFault, ShardFaultPlan
+    from repro.cluster.scatter import ClusterRunner
+    from repro.serve.workload import GroupProfile, QueryJob
+
+    obs = Observability()
+    space = LocationSpace.unit_square()
+    lsp = LSPServer(
+        clustered_pois(120, space, seed=11), sanitation_samples=8, seed=99
+    )
+    config = PPGNNConfig(
+        d=3, delta=6, k=3, keysize=128, key_seed=5,
+        sanitize=False, sanitation_samples=8,
+    )
+    group = GroupProfile(
+        group_id=0,
+        tenant="t0",
+        locations=tuple(p.location for p in clustered_pois(2, space, seed=4)),
+    )
+    job = QueryJob(
+        job_id=0, tenant="t0", group_id=0, protocol="ppgnn",
+        k=3, seed=17, arrival_time=0.0,
+    )
+    probe = ClusterRunner(lsp, config, ClusterConfig(shards=3, replicas=2))
+    slow_primary = probe.ring.route(job.tenant, job.group_id, 0)
+    plan = ShardFaultPlan(
+        replicas={
+            (2, 0): ReplicaFault(kill_after=0),
+            (2, 1): ReplicaFault(kill_after=0),
+            (0, slow_primary): ReplicaFault(slow_start=5, slow_factor=10.0),
+        }
+    )
+    runner = ClusterRunner(
+        lsp,
+        config,
+        ClusterConfig(
+            shards=3, replicas=2, quorum=0.5, faults=plan, hedge_factor=2.0
+        ),
+        obs=obs,
+    )
+    outcome = runner.run_job(job, group)
+    assert outcome.partial and outcome.lost_shards == (2,)
+    assert runner.stats.hedge_wins > 0 and runner.stats.failovers > 0
+    return obs
+
+
 def _exhaustion_scenario() -> Observability:
     """A dead link defeats the retry budget."""
     obs = Observability()
@@ -161,6 +213,7 @@ class TestObsSmoke:
         )
         published |= _guard_scenarios().snapshot().names
         published |= _exhaustion_scenario().snapshot().names
+        published |= _cluster_scenario().snapshot().names
         missing = documented - published
         assert not missing, f"documented but never published: {sorted(missing)}"
 
