@@ -1,0 +1,127 @@
+"""Closed-loop overload control under a seeded flash crowd.
+
+A 4x burst against a single worker with the controller armed: the loop
+must scale out, enter brownout, and *degrade* traffic (smaller k,
+quality-scored answers) rather than fail it.  The exact control
+timeline — sheds, degrades, brownouts, scale-ups — plus the usual
+serving counters freeze into the ``serve-overload`` baseline, so a
+change that silently stops the loop from engaging (or makes it drop
+queries) trips the perf sentinel.
+
+Runs at a small fixed key size: the scenario is about the *plan-phase*
+control dynamics, which are key-size independent; real crypto still
+executes every admitted job.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.obs.analyze import SLOPolicy
+from repro.serve import ServeConfig, ServeEngine, WorkloadSpec, generate_workload
+from repro.serve.control import ControlConfig
+
+KEYSIZE = 128
+QUERIES = 40
+RATE = 800.0
+SPAN = QUERIES / RATE
+
+SPEC = WorkloadSpec(
+    queries=QUERIES,
+    rate_qps=RATE,
+    protocol_mix={"ppgnn": 1.0},
+    group_size_mix={2: 1.0},
+    k_mix={4: 1.0},
+    tenants=("tenant-0", "tenant-1"),
+    groups=6,
+    seed=20180326,
+    burst_multiplier=4.0,
+    burst_start=0.25 * SPAN,
+    burst_duration=0.5 * SPAN,
+)
+
+CONTROL = ControlConfig(
+    tick_seconds=SPAN / 20,
+    window_seconds=SPAN / 5,
+    slo=SLOPolicy(latency_p99=0.05),
+    max_workers=4,
+    shed_policy="degrade",
+    queue_high_fraction=0.1,
+)
+
+
+@pytest.fixture(scope="module")
+def overload_report(lsp, settings):
+    from conftest import make_config
+
+    config = make_config(settings, d=4, delta=8, k=4, keysize=KEYSIZE)
+    serve = ServeConfig(workers=1, obs=True, control=CONTROL)
+    return ServeEngine(lsp, config, serve).run(generate_workload(SPEC, lsp.space))
+
+
+def test_serve_overload_control(overload_report, recorder, sentinel):
+    report = overload_report
+
+    # The availability contract: overload degrades, it never breaks.
+    assert report.failed == 0
+    assert report.completed + report.rejected == QUERIES
+    assert report.control is not None, "the flash crowd must engage the loop"
+    control = report.control
+    assert control["brownouts"] >= 1
+    assert control["degraded"] > 0
+    assert control["workers"]["final"] > control["workers"]["initial"]
+
+    from repro.bench.sentinel import serving_report_metrics
+
+    metrics = serving_report_metrics(report.to_dict())
+    metrics.update(
+        {
+            "control.ticks": control["ticks"],
+            "control.scale_ups": control["scale_ups"],
+            "control.policy_switches": control["policy_switches"],
+            "control.brownouts": control["brownouts"],
+            "control.shed": control["shed"],
+            "control.degraded": control["degraded"],
+        }
+    )
+    sentinel.gate(
+        "serve-overload",
+        metrics,
+        keysize=KEYSIZE,
+        config={
+            "queries": QUERIES,
+            "rate_qps": RATE,
+            "burst_multiplier": SPEC.burst_multiplier,
+            "seed": SPEC.seed,
+            "workers": 1,
+            "max_workers": CONTROL.max_workers,
+            "shed_policy": CONTROL.shed_policy,
+        },
+    )
+    recorder.record_json(
+        "serve-overload",
+        {
+            "queries": QUERIES,
+            "rate_qps": RATE,
+            "report": report.to_dict(include_wall=True),
+        },
+        keysize=KEYSIZE,
+        config={"seed": SPEC.seed, "workers": 1, "control": True},
+        metrics=(report.obs or {}).get("metrics"),
+    )
+    recorder.note(
+        "serve-overload",
+        f"{control['degraded']} degraded / {control['shed']} shed of "
+        f"{QUERIES}, workers {control['workers']['initial']} -> "
+        f"{control['workers']['final']}, p99 {report.latency_p99:.3f}s",
+    )
+
+
+def test_overload_timeline_is_deterministic(overload_report, lsp, settings):
+    """The whole controlled run replays bit-for-bit."""
+    from conftest import make_config
+
+    config = make_config(settings, d=4, delta=8, k=4, keysize=KEYSIZE)
+    serve = ServeConfig(workers=1, obs=True, control=CONTROL)
+    again = ServeEngine(lsp, config, serve).run(generate_workload(SPEC, lsp.space))
+    assert again.to_dict() == overload_report.to_dict()

@@ -1,0 +1,666 @@
+"""Closed-loop overload control for the serving engine.
+
+PR 5 taught the library to *measure* pressure (SLO burn rates,
+queue-delay attribution) and PR 6 made degraded answers a first-class,
+quality-scored result — this module closes the loop.  An
+:class:`OverloadController` is evaluated on the engine's **simulated
+clock** at fixed control ticks, reads a sliding-window view of the
+run's own signals, and drives four actuators:
+
+1. **Worker-pool autoscaling** between ``min_workers`` and
+   ``max_workers`` with hysteresis (``hysteresis_ticks`` calm ticks
+   before any de-escalation).
+2. **Scheduler policy switching** — under pressure the queue migrates
+   to ``pressure_policy`` (shortest-cost by default, trading fairness
+   for drain rate), and back once calm.
+3. **Per-tenant brownout shedding** — past ``brownout_burn`` the
+   heaviest tenants are either rejected with a typed
+   :class:`~repro.errors.OverloadSheddedError` carrying a retry-after
+   tick, or degraded to a smaller ``k`` whose answer is an exact,
+   quality-scored prefix of the requested top-k
+   (:func:`repro.metrics.quality.estimate_brownout_quality`).
+4. **Per-(shard, replica) circuit breakers** with half-open probes
+   (:class:`BreakerBoard`) wrapping the cluster failover path, plus a
+   per-session transport retry *budget* so retries cannot amplify an
+   overload into a retry storm.
+
+Everything is deterministic: signals are pure functions of the planned
+timeline, ticks live on the simulated clock, tie-breaks are
+lexicographic — so the control timeline is byte-identical across runs
+and across the serial/multiprocessing executors.  When the loop never
+triggers, the engine's plan, report, and ``answers_digest`` are
+byte-identical to ``control=None`` (the regression fixtures pin this).
+"""
+
+from __future__ import annotations
+
+import math
+from collections import deque
+from dataclasses import dataclass
+
+from repro.errors import ConfigurationError
+from repro.obs import Observability
+from repro.obs.analyze import SLOPolicy, evaluate_slo
+from repro.serve.scheduler import POLICIES
+from repro.serve.workload import QueryJob
+
+#: Brownout admission verdicts.
+SHED_POLICIES = ("degrade", "reject", "off")
+
+
+@dataclass(frozen=True)
+class ControlConfig:
+    """Tunables of the closed control loop.
+
+    Attributes
+    ----------
+    tick_seconds / window_seconds:
+        The loop evaluates every ``tick_seconds`` of simulated time over
+        a trailing ``window_seconds`` view of completions, arrivals, and
+        rejections.
+    slo:
+        The :class:`~repro.obs.analyze.SLOPolicy` whose burn rates are
+        the pressure signal (evaluated over the sliding window, not the
+        whole run).
+    min_workers / max_workers:
+        Autoscaling bounds; ``None`` pins either bound to the engine's
+        configured worker count (so the default config never scales).
+    scale_up_burn / scale_down_burn / hysteresis_ticks:
+        Pressure at or above ``scale_up_burn`` escalates; pressure at or
+        below ``scale_down_burn`` for ``hysteresis_ticks`` consecutive
+        ticks de-escalates one step.  The gap between the two thresholds
+        is the hysteresis band that prevents actuator flapping.
+    pressure_policy / policy_switch_burn:
+        Scheduler policy to switch to under pressure (``None`` disables
+        the actuator).
+    shed_policy / brownout_burn / brownout_k / retry_after_ticks:
+        Past ``brownout_burn`` the heaviest tenants (by window arrival
+        count) brown out: ``"reject"`` sheds their sessions with a typed
+        error carrying ``retry_after_ticks``; ``"degrade"`` (default)
+        serves them at ``brownout_k`` (default: half the requested k,
+        floor 1); ``"off"`` disables the actuator.
+    queue_high_fraction:
+        Queue-depth pressure normalizer: depth at this fraction of
+        capacity counts as burn 1.0 — a leading indicator that fires
+        before latency SLOs are measurably violated.
+    breaker_failures / breaker_probe_after:
+        Circuit-breaker knobs for cluster mode: a (shard, replica)
+        breaker opens after ``breaker_failures`` consecutive failures
+        and half-opens for a probe ``breaker_probe_after`` sub-query
+        sequence steps later.  ``breaker_failures=None`` disables
+        breakers.
+    retry_budget:
+        Per-session transport retry budget (total retransmissions, not
+        per message); ``None`` leaves the transport's historical
+        per-message behaviour.
+    """
+
+    tick_seconds: float = 0.25
+    window_seconds: float = 1.0
+    slo: SLOPolicy = SLOPolicy()
+    min_workers: int | None = None
+    max_workers: int | None = None
+    scale_up_burn: float = 1.0
+    scale_down_burn: float = 0.5
+    hysteresis_ticks: int = 2
+    pressure_policy: str | None = "shortest-cost"
+    policy_switch_burn: float = 1.25
+    shed_policy: str = "degrade"
+    brownout_burn: float = 1.5
+    brownout_k: int | None = None
+    retry_after_ticks: int = 4
+    queue_high_fraction: float = 0.5
+    breaker_failures: int | None = 2
+    breaker_probe_after: int = 8
+    retry_budget: int | None = None
+
+    def __post_init__(self) -> None:
+        if self.tick_seconds <= 0 or self.window_seconds <= 0:
+            raise ConfigurationError(
+                "tick_seconds and window_seconds must be positive"
+            )
+        for name in ("min_workers", "max_workers"):
+            value = getattr(self, name)
+            if value is not None and value < 1:
+                raise ConfigurationError(f"{name} must be >= 1 or None")
+        if (
+            self.min_workers is not None
+            and self.max_workers is not None
+            and self.min_workers > self.max_workers
+        ):
+            raise ConfigurationError("min_workers must be <= max_workers")
+        if self.scale_up_burn <= 0 or self.policy_switch_burn <= 0:
+            raise ConfigurationError("escalation thresholds must be positive")
+        if not 0 <= self.scale_down_burn < self.scale_up_burn:
+            raise ConfigurationError(
+                "scale_down_burn must be in [0, scale_up_burn)"
+            )
+        if self.brownout_burn <= 0:
+            raise ConfigurationError("brownout_burn must be positive")
+        if self.hysteresis_ticks < 1:
+            raise ConfigurationError("hysteresis_ticks must be >= 1")
+        if self.pressure_policy is not None and self.pressure_policy not in POLICIES:
+            raise ConfigurationError(
+                f"unknown pressure_policy {self.pressure_policy!r}; "
+                f"known: {list(POLICIES)}"
+            )
+        if self.shed_policy not in SHED_POLICIES:
+            raise ConfigurationError(
+                f"unknown shed_policy {self.shed_policy!r}; "
+                f"known: {list(SHED_POLICIES)}"
+            )
+        if self.brownout_k is not None and self.brownout_k < 1:
+            raise ConfigurationError("brownout_k must be >= 1 or None")
+        if self.retry_after_ticks < 1:
+            raise ConfigurationError("retry_after_ticks must be >= 1")
+        if not 0 < self.queue_high_fraction <= 1:
+            raise ConfigurationError("queue_high_fraction must be in (0, 1]")
+        if self.breaker_failures is not None and self.breaker_failures < 1:
+            raise ConfigurationError("breaker_failures must be >= 1 or None")
+        if self.breaker_probe_after < 1:
+            raise ConfigurationError("breaker_probe_after must be >= 1")
+        if self.retry_budget is not None and self.retry_budget < 0:
+            raise ConfigurationError("retry_budget must be >= 0 or None")
+
+
+def _window_percentile(sorted_values: list[float], fraction: float) -> float:
+    """Exact nearest-rank percentile (mirrors the engine's reporting)."""
+    from repro.serve.engine import _percentile
+
+    return _percentile(sorted_values, fraction)
+
+
+class OverloadController:
+    """The engine-side control loop: signals in, actuation decisions out.
+
+    The engine calls :meth:`on_arrival` / :meth:`on_completion` /
+    :meth:`on_rejection` as its discrete-event simulation advances,
+    :meth:`admission` for every arriving job, and :meth:`on_tick` at
+    every control tick.  ``on_tick`` returns the actions the engine must
+    apply to its own state (worker count, scheduler); brownout decisions
+    are applied internally via ``admission``.
+
+    Every actuation appends an auditable entry to :attr:`timeline` —
+    tick, simulated time, signal values, decision, affected tenants —
+    which lands in the serving report's ``control`` section.
+    """
+
+    def __init__(
+        self,
+        config: ControlConfig,
+        *,
+        workers: int,
+        policy: str,
+        queue_capacity: int,
+    ) -> None:
+        self.config = config
+        self.initial_workers = workers
+        self.initial_policy = policy
+        self.queue_capacity = queue_capacity
+        self.workers = workers
+        self.min_workers = (
+            config.min_workers if config.min_workers is not None else workers
+        )
+        self.max_workers = (
+            config.max_workers if config.max_workers is not None else workers
+        )
+        self.policy = policy
+        self.tick_index = 0
+        self.calm_ticks = 0
+        self.brownout_active = False
+        self.shed_tenants: tuple[str, ...] = ()
+        self.last_burn = 0.0
+        self.scale_ups = 0
+        self.scale_downs = 0
+        self.policy_switches = 0
+        self.brownouts = 0
+        self.shed = 0
+        self.degraded = 0
+        self.per_tenant: dict[str, dict[str, int]] = {}
+        self.timeline: list[dict] = []
+        # Sliding windows, pruned at each tick.
+        self._completions: deque = deque()  # (time, latency, service, proto)
+        self._arrivals: deque = deque()  # (time, tenant)
+        self._rejections: deque = deque()  # (time,) — organic only, never sheds
+        # Shed/degrade decisions since the last tick, aggregated into one
+        # timeline entry per tick so flash crowds don't bloat the report.
+        self._tick_shed: dict[str, int] = {}
+        self._tick_degraded: dict[str, int] = {}
+
+    # ------------------------------------------------------------ observing
+
+    def on_arrival(self, now: float, tenant: str) -> None:
+        self._arrivals.append((now, tenant))
+
+    def on_completion(
+        self, now: float, *, arrival: float, service: float, protocol: str
+    ) -> None:
+        self._completions.append((now, now - arrival, service, protocol))
+
+    def on_rejection(self, now: float) -> None:
+        """An *organic* (quota/queue) rejection — shed sessions are
+        deliberately excluded so the controller's own shedding cannot
+        feed back into its error signal and latch the brownout on."""
+        self._rejections.append((now,))
+
+    # ------------------------------------------------------------- signals
+
+    def _prune(self, now: float) -> None:
+        cutoff = now - self.config.window_seconds
+        for window in (self._completions, self._arrivals, self._rejections):
+            while window and window[0][0] < cutoff:
+                window.popleft()
+
+    def _signals(self, now: float, queue_depth: int) -> tuple[float, dict]:
+        """Max SLO burn over the window, plus the per-objective burns."""
+        self._prune(now)
+        burns: dict[str, float] = {}
+        completions = list(self._completions)
+        rejections = len(self._rejections)
+        if completions or rejections:
+            latencies = sorted(entry[1] for entry in completions)
+            per_protocol: dict[str, dict] = {}
+            for _, _, service, protocol in completions:
+                entry = per_protocol.setdefault(
+                    protocol, {"count": 0, "seconds": 0.0}
+                )
+                entry["count"] += 1
+                entry["seconds"] += service
+            mean = sum(latencies) / len(latencies) if latencies else 0.0
+            window_report = {
+                "queries": len(completions) + rejections,
+                "failed": 0,
+                "rejected": rejections,
+                "latency": {
+                    "mean": mean,
+                    "p50": _window_percentile(latencies, 0.50),
+                    "p95": _window_percentile(latencies, 0.95),
+                    "p99": _window_percentile(latencies, 0.99),
+                },
+                "per_protocol": {
+                    protocol: {
+                        "count": entry["count"],
+                        "mean_predicted_seconds": entry["seconds"]
+                        / entry["count"],
+                    }
+                    for protocol, entry in per_protocol.items()
+                },
+                "queue": {
+                    "max_depth": queue_depth,
+                    "mean_depth": float(queue_depth),
+                },
+            }
+            for result in evaluate_slo(window_report, self.config.slo).results:
+                burns[result.objective] = result.burn_rate
+        # Queue depth is the leading indicator: it fires before enough
+        # completions exist for the latency percentiles to show strain.
+        burns["queue_depth"] = queue_depth / (
+            self.config.queue_high_fraction * self.queue_capacity
+        )
+        return max(burns.values()), burns
+
+    def _select_tenants(self, pressure: float) -> tuple[str, ...]:
+        """The heaviest tenants by window arrival count (ties: name).
+
+        The shed fraction scales with the overshoot past burn 1.0 —
+        at burn 1.5 half the tenants brown out, at 2.0 all of them —
+        with a floor of one tenant so entering brownout always acts.
+        """
+        counts: dict[str, int] = {}
+        for _, tenant in self._arrivals:
+            counts[tenant] = counts.get(tenant, 0) + 1
+        if not counts:
+            return ()
+        fraction = min(1.0, max(0.0, pressure - 1.0))
+        chosen = max(1, math.ceil(fraction * len(counts)))
+        ranked = sorted(counts, key=lambda tenant: (-counts[tenant], tenant))
+        return tuple(sorted(ranked[:chosen]))
+
+    # ------------------------------------------------------------ actuation
+
+    def _signal_dict(self, pressure: float, burns: dict, depth: int) -> dict:
+        return {
+            "burn": round(pressure, 9),
+            "queue_depth": depth,
+            "burns": {name: round(value, 9) for name, value in sorted(burns.items())},
+        }
+
+    def _record(
+        self,
+        now: float | None,
+        action: str,
+        signals: dict | None = None,
+        detail=None,
+        tenants: tuple[str, ...] | None = None,
+        count: int | None = None,
+    ) -> None:
+        entry: dict = {"tick": self.tick_index, "action": action}
+        if now is not None:
+            entry["time"] = round(now, 9)
+        if signals is not None:
+            entry["signals"] = signals
+        if detail is not None:
+            entry["detail"] = detail
+        if tenants is not None:
+            entry["tenants"] = sorted(tenants)
+        if count is not None:
+            entry["count"] = count
+        self.timeline.append(entry)
+
+    def _flush_shedding(self, now: float | None) -> None:
+        """One aggregated timeline entry per tick for shed/degraded jobs."""
+        if self._tick_shed:
+            self._record(
+                now,
+                "shed",
+                tenants=tuple(self._tick_shed),
+                count=sum(self._tick_shed.values()),
+            )
+            self._tick_shed = {}
+        if self._tick_degraded:
+            self._record(
+                now,
+                "degrade",
+                tenants=tuple(self._tick_degraded),
+                count=sum(self._tick_degraded.values()),
+            )
+            self._tick_degraded = {}
+
+    def on_tick(self, now: float, queue_depth: int) -> list[tuple[str, object]]:
+        """One control evaluation; returns engine-side actions to apply.
+
+        Actions: ``("scale_up", workers)``, ``("scale_down", workers)``,
+        ``("policy", name)``.  Escalation may fire several actuators in
+        one tick (brownout, policy, scaling are independent levers);
+        de-escalation relaxes exactly one lever per calm streak, in
+        reverse order of harm (brownout first, scale-down last), so
+        recovery never overshoots back into pressure.
+        """
+        self.tick_index += 1
+        self._flush_shedding(now)
+        pressure, burns = self._signals(now, queue_depth)
+        self.last_burn = pressure
+        cfg = self.config
+        actions: list[tuple[str, object]] = []
+        signals = self._signal_dict(pressure, burns, queue_depth)
+        if pressure >= cfg.scale_up_burn:
+            self.calm_ticks = 0
+            if (
+                cfg.shed_policy != "off"
+                and pressure >= cfg.brownout_burn
+                and not self.brownout_active
+            ):
+                tenants = self._select_tenants(pressure)
+                if tenants:
+                    self.brownout_active = True
+                    self.brownouts += 1
+                    self.shed_tenants = tenants
+                    self._record(
+                        now, "brownout_enter", signals, tenants=tenants
+                    )
+            if (
+                cfg.pressure_policy is not None
+                and pressure >= cfg.policy_switch_burn
+                and self.policy != cfg.pressure_policy
+            ):
+                self.policy = cfg.pressure_policy
+                self.policy_switches += 1
+                self._record(
+                    now, "policy_switch", signals, detail=cfg.pressure_policy
+                )
+                actions.append(("policy", cfg.pressure_policy))
+            if self.workers < self.max_workers:
+                self.workers += 1
+                self.scale_ups += 1
+                self._record(now, "scale_up", signals, detail=self.workers)
+                actions.append(("scale_up", self.workers))
+        elif pressure <= cfg.scale_down_burn:
+            self.calm_ticks += 1
+            if self.calm_ticks >= cfg.hysteresis_ticks:
+                self.calm_ticks = 0
+                if self.brownout_active:
+                    self.brownout_active = False
+                    self._record(
+                        now, "brownout_exit", signals,
+                        tenants=self.shed_tenants,
+                    )
+                    self.shed_tenants = ()
+                elif self.policy != self.initial_policy:
+                    self.policy = self.initial_policy
+                    self.policy_switches += 1
+                    self._record(
+                        now, "policy_revert", signals,
+                        detail=self.initial_policy,
+                    )
+                    actions.append(("policy", self.initial_policy))
+                elif self.workers > self.min_workers:
+                    self.workers -= 1
+                    self.scale_downs += 1
+                    self._record(
+                        now, "scale_down", signals, detail=self.workers
+                    )
+                    actions.append(("scale_down", self.workers))
+        else:
+            # Inside the hysteresis band: neither escalate nor relax.
+            self.calm_ticks = 0
+        return actions
+
+    # ------------------------------------------------------------ admission
+
+    def _bump(self, tenant: str, kind: str) -> None:
+        entry = self.per_tenant.setdefault(tenant, {"shed": 0, "degraded": 0})
+        entry[kind] += 1
+
+    def admission(self, job: QueryJob) -> tuple[str, int | None]:
+        """Admission verdict for one arriving job.
+
+        Returns ``("admit", None)``, ``("shed", retry_after_tick)``, or
+        ``("degrade", k_prime)``.
+        """
+        cfg = self.config
+        if (
+            not self.brownout_active
+            or cfg.shed_policy == "off"
+            or job.tenant not in self.shed_tenants
+        ):
+            return ("admit", None)
+        if cfg.shed_policy == "reject":
+            self.shed += 1
+            self._bump(job.tenant, "shed")
+            self._tick_shed[job.tenant] = self._tick_shed.get(job.tenant, 0) + 1
+            return ("shed", self.tick_index + cfg.retry_after_ticks)
+        k_prime = (
+            cfg.brownout_k if cfg.brownout_k is not None else max(1, job.k // 2)
+        )
+        if k_prime >= job.k:
+            return ("admit", None)
+        self.degraded += 1
+        self._bump(job.tenant, "degraded")
+        self._tick_degraded[job.tenant] = (
+            self._tick_degraded.get(job.tenant, 0) + 1
+        )
+        return ("degrade", k_prime)
+
+    # ------------------------------------------------------------ reporting
+
+    @property
+    def acted(self) -> bool:
+        """Whether the loop ever actuated (sheds included).
+
+        False means the run was byte-identical to ``control=None`` — the
+        report then omits the control section entirely, which is what
+        the regression fixtures pin.
+        """
+        return (
+            bool(self.timeline)
+            or bool(self._tick_shed)
+            or bool(self._tick_degraded)
+            or self.shed > 0
+            or self.degraded > 0
+        )
+
+    def metric_counts(self) -> dict[str, int]:
+        """The ``control.*`` counters the engine publishes under obs."""
+        return {
+            "control.ticks": self.tick_index,
+            "control.scale_ups": self.scale_ups,
+            "control.scale_downs": self.scale_downs,
+            "control.policy_switches": self.policy_switches,
+            "control.brownouts": self.brownouts,
+            "control.shed": self.shed,
+            "control.degraded": self.degraded,
+        }
+
+    def report_section(self, cluster_stats=None) -> dict:
+        """The serving report's ``control`` section (see SERVING.md)."""
+        self._flush_shedding(None)
+        section = {
+            "ticks": self.tick_index,
+            "workers": {
+                "initial": self.initial_workers,
+                "final": self.workers,
+                "min": self.min_workers,
+                "max": self.max_workers,
+            },
+            "policy": {"initial": self.initial_policy, "final": self.policy},
+            "scale_ups": self.scale_ups,
+            "scale_downs": self.scale_downs,
+            "policy_switches": self.policy_switches,
+            "brownouts": self.brownouts,
+            "shed": self.shed,
+            "degraded": self.degraded,
+            "per_tenant": {
+                tenant: dict(counts)
+                for tenant, counts in sorted(self.per_tenant.items())
+            },
+            "timeline": self.timeline,
+        }
+        if cluster_stats is not None:
+            section["breakers"] = {
+                "opens": cluster_stats.breaker_opens,
+                "probes": cluster_stats.breaker_probes,
+                "short_circuits": cluster_stats.breaker_short_circuits,
+            }
+        return section
+
+
+# ---------------------------------------------------------------- breakers
+
+
+class CircuitBreaker:
+    """One (shard, replica)'s closed → open → half-open state machine.
+
+    Time is the cluster cell's **fault sequence** (one step per
+    sub-query the cell serves) — a pure function of the serving order,
+    so breaker decisions replay identically under the serial and
+    multiprocessing executors.  The breaker opens after
+    ``failure_threshold`` consecutive failures; ``probe_after`` sequence
+    steps later it half-opens and admits exactly one probe, whose
+    outcome either closes it again or re-opens it from the probe's
+    sequence number.
+    """
+
+    __slots__ = ("failure_threshold", "probe_after", "consecutive", "opened_at")
+
+    def __init__(self, failure_threshold: int, probe_after: int) -> None:
+        self.failure_threshold = failure_threshold
+        self.probe_after = probe_after
+        self.consecutive = 0
+        self.opened_at: int | None = None
+
+    @property
+    def open(self) -> bool:
+        return self.opened_at is not None
+
+    def allow(self, seq: int) -> tuple[bool, bool]:
+        """(allowed, is_probe) for an attempt at fault-sequence ``seq``."""
+        if self.opened_at is None:
+            return True, False
+        if seq >= self.opened_at + self.probe_after:
+            return True, True
+        return False, False
+
+    def record_failure(self, seq: int) -> bool:
+        """Account one failure; True when the breaker (re-)opened."""
+        if self.opened_at is not None:
+            # A half-open probe failed: re-open from the probe's time.
+            self.opened_at = seq
+            return True
+        self.consecutive += 1
+        if self.consecutive >= self.failure_threshold:
+            self.opened_at = seq
+            return True
+        return False
+
+    def record_success(self) -> None:
+        self.consecutive = 0
+        self.opened_at = None
+
+
+class BreakerBoard:
+    """All of one cluster cell's circuit breakers, with accounting.
+
+    Wraps the :class:`~repro.cluster.scatter.ClusterRunner` failover
+    loop: an open breaker short-circuits a replica attempt *before* any
+    transport traffic is spent on it, which is what caps retry
+    amplification against a flapping replica.  Counters land in the
+    cell's :class:`~repro.cluster.scatter.ClusterStats` (and, under
+    obs, the ``control.breaker_*`` metrics).
+    """
+
+    def __init__(
+        self,
+        failure_threshold: int,
+        probe_after: int,
+        *,
+        stats=None,
+        obs: Observability | None = None,
+    ) -> None:
+        if failure_threshold < 1:
+            raise ConfigurationError("failure_threshold must be >= 1")
+        if probe_after < 1:
+            raise ConfigurationError("probe_after must be >= 1")
+        self.failure_threshold = failure_threshold
+        self.probe_after = probe_after
+        self.stats = stats
+        self.obs = obs
+        self._breakers: dict[tuple[int, int], CircuitBreaker] = {}
+
+    def _breaker(self, shard: int, replica: int) -> CircuitBreaker:
+        key = (shard, replica)
+        breaker = self._breakers.get(key)
+        if breaker is None:
+            breaker = CircuitBreaker(self.failure_threshold, self.probe_after)
+            self._breakers[key] = breaker
+        return breaker
+
+    def allow(self, shard: int, replica: int, seq: int) -> bool:
+        """Gate one replica attempt; accounts short-circuits and probes."""
+        allowed, is_probe = self._breaker(shard, replica).allow(seq)
+        if not allowed:
+            if self.stats is not None:
+                self.stats.breaker_short_circuits += 1
+            if self.obs is not None:
+                self.obs.count("control.breaker_short_circuits")
+            return False
+        if is_probe:
+            if self.stats is not None:
+                self.stats.breaker_probes += 1
+            if self.obs is not None:
+                self.obs.count("control.breaker_probes")
+        return True
+
+    def failure(self, shard: int, replica: int, seq: int) -> None:
+        if self._breaker(shard, replica).record_failure(seq):
+            if self.stats is not None:
+                self.stats.breaker_opens += 1
+            if self.obs is not None:
+                self.obs.count("control.breaker_opens")
+
+    def success(self, shard: int, replica: int) -> None:
+        self._breaker(shard, replica).record_success()
+
+    def state(self, shard: int, replica: int) -> str:
+        """"closed" or "open" (probing is a property of the next seq)."""
+        breaker = self._breakers.get((shard, replica))
+        return "open" if breaker is not None and breaker.open else "closed"

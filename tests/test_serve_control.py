@@ -1,0 +1,604 @@
+"""Closed-loop overload control (`repro.serve.control`).
+
+Pins SERVING.md's "Overload & degradation model": config validation,
+the controller's escalation / hysteresis state machine, shed/degrade
+admission accounting, the circuit-breaker state machine, scheduler
+drain exactness, and the engine-level contracts — typed sheds, quality
+scored brownout answers, serial ≡ multiprocessing control timelines,
+and byte-identity with ``control=None`` when the loop never triggers.
+"""
+
+import json
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.cluster import ClusterConfig, ShardFaultPlan
+from repro.cluster.scatter import ClusterStats
+from repro.core.config import PPGNNConfig
+from repro.core.lsp import LSPServer
+from repro.datasets.synthetic import clustered_pois
+from repro.errors import (
+    AdmissionRejectedError,
+    BackpressureError,
+    ConfigurationError,
+    OverloadSheddedError,
+    QueueFullError,
+)
+from repro.geometry.space import LocationSpace
+from repro.obs.analyze import SLOPolicy
+from repro.serve import ServeConfig, ServeEngine, WorkloadSpec, generate_workload
+from repro.serve.control import (
+    SHED_POLICIES,
+    BreakerBoard,
+    CircuitBreaker,
+    ControlConfig,
+    OverloadController,
+)
+from repro.serve.scheduler import POLICIES, make_scheduler
+from repro.serve.workload import QueryJob
+
+SAMPLES = 8
+
+
+@pytest.fixture(scope="module")
+def space():
+    return LocationSpace.unit_square()
+
+
+@pytest.fixture(scope="module")
+def pois(space):
+    return clustered_pois(200, space, seed=7)
+
+
+@pytest.fixture(scope="module")
+def config():
+    return PPGNNConfig(
+        d=4, delta=8, k=4, keysize=128, key_seed=1, sanitation_samples=SAMPLES
+    )
+
+
+@pytest.fixture(scope="module")
+def cluster_config():
+    # The cluster merge needs unsanitized per-shard answers (NAS).
+    return PPGNNConfig(
+        d=4, delta=8, k=4, keysize=128, key_seed=1,
+        sanitize=False, sanitation_samples=SAMPLES,
+    )
+
+
+@pytest.fixture(scope="module")
+def lsp(pois):
+    return LSPServer(pois, sanitation_samples=SAMPLES, seed=99)
+
+
+def overload_spec(seed=5, queries=60, rate=2000.0):
+    """A flash crowd: 4x the base rate through the middle half."""
+    span = queries / rate
+    return WorkloadSpec(
+        queries=queries,
+        rate_qps=rate,
+        protocol_mix={"ppgnn": 1.0},
+        group_size_mix={2: 1.0},
+        k_mix={4: 1.0},
+        tenants=("t0", "t1", "t2"),
+        groups=6,
+        seed=seed,
+        burst_multiplier=4.0,
+        burst_start=0.25 * span,
+        burst_duration=0.5 * span,
+    )
+
+
+def hair_trigger_control(**overrides):
+    """A control config that escalates on the first measured completion."""
+    options = dict(
+        tick_seconds=0.002,
+        window_seconds=0.008,
+        slo=SLOPolicy(latency_p99=1e-6),
+        max_workers=4,
+    )
+    options.update(overrides)
+    return ControlConfig(**options)
+
+
+def job(job_id=0, tenant="t0", k=4, group_id=0):
+    return QueryJob(
+        job_id=job_id, tenant=tenant, group_id=group_id,
+        protocol="ppgnn", k=k, seed=17, arrival_time=0.0,
+    )
+
+
+# --------------------------------------------------------------- validation
+
+
+class TestControlConfig:
+    def test_defaults_are_valid(self):
+        cfg = ControlConfig()
+        assert cfg.shed_policy in SHED_POLICIES
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"tick_seconds": 0.0},
+            {"window_seconds": -1.0},
+            {"min_workers": 0},
+            {"max_workers": 0},
+            {"min_workers": 4, "max_workers": 2},
+            {"scale_up_burn": 0.0},
+            {"scale_down_burn": -0.1},
+            {"scale_down_burn": 1.0, "scale_up_burn": 1.0},
+            {"policy_switch_burn": 0.0},
+            {"brownout_burn": 0.0},
+            {"hysteresis_ticks": 0},
+            {"pressure_policy": "lifo"},
+            {"shed_policy": "drop"},
+            {"brownout_k": 0},
+            {"retry_after_ticks": 0},
+            {"queue_high_fraction": 0.0},
+            {"queue_high_fraction": 1.5},
+            {"breaker_failures": 0},
+            {"breaker_probe_after": 0},
+            {"retry_budget": -1},
+        ],
+    )
+    def test_bad_fields_rejected(self, kwargs):
+        with pytest.raises(ConfigurationError):
+            ControlConfig(**kwargs)
+
+    def test_serve_config_rejects_non_control_objects(self):
+        with pytest.raises(ConfigurationError):
+            ServeConfig(control=42)
+
+    def test_serve_config_accepts_control(self):
+        assert ServeConfig(control=ControlConfig()).control is not None
+
+
+class TestTypedErrors:
+    def test_shed_error_taxonomy(self):
+        err = OverloadSheddedError("t0", retry_after_tick=9, burn_rate=2.5)
+        assert isinstance(err, AdmissionRejectedError)
+        assert isinstance(err, BackpressureError)
+        assert err.retry_after_tick == 9
+        assert err.burn_rate == 2.5
+        assert err.tenant == "t0"
+        # Shedding is a load decision, not a quota one.
+        assert err.in_flight == 0 and err.limit == 0
+        assert "retry after control tick 9" in str(err)
+
+    def test_queue_full_carries_depth_and_capacity(self):
+        err = QueueFullError(12, 12)
+        assert err.depth == 12 and err.capacity == 12
+
+
+# --------------------------------------------------- controller state machine
+
+
+def make_controller(cfg=None, workers=2, policy="fifo", capacity=10):
+    return OverloadController(
+        cfg or ControlConfig(max_workers=4),
+        workers=workers,
+        policy=policy,
+        queue_capacity=capacity,
+    )
+
+
+class TestControllerStateMachine:
+    def test_idle_ticks_leave_no_trace(self):
+        controller = make_controller()
+        for tick in range(5):
+            assert controller.on_tick(0.25 * (tick + 1), 0) == []
+        assert controller.tick_index == 5
+        assert not controller.acted
+        assert controller.timeline == []
+
+    def test_queue_depth_is_a_leading_indicator(self):
+        """Scale-up fires on queue burn alone, before any completion."""
+        cfg = ControlConfig(max_workers=3, queue_high_fraction=0.5)
+        controller = make_controller(cfg)
+        actions = controller.on_tick(0.25, 5)  # depth 5 of 10 => burn 1.0
+        assert ("scale_up", 3) in actions
+        assert controller.workers == 3
+        assert controller.acted
+
+    def test_full_escalation_in_one_tick(self):
+        """Brownout, policy switch, and scale-up are independent levers."""
+        cfg = ControlConfig(max_workers=3)
+        controller = make_controller(cfg)
+        controller.on_arrival(0.1, "t0")
+        controller.on_arrival(0.2, "t1")
+        actions = controller.on_tick(0.25, 10)  # burn 2.0 crosses all three
+        assert ("policy", "shortest-cost") in actions
+        assert ("scale_up", 3) in actions
+        assert controller.brownout_active
+        assert controller.brownouts == 1
+        kinds = [entry["action"] for entry in controller.timeline]
+        assert kinds == ["brownout_enter", "policy_switch", "scale_up"]
+
+    def test_deescalation_relaxes_one_lever_per_calm_streak(self):
+        cfg = ControlConfig(max_workers=3, hysteresis_ticks=2)
+        controller = make_controller(cfg)
+        controller.on_arrival(0.1, "t0")
+        controller.on_tick(0.25, 10)  # escalate everything
+        assert controller.brownout_active and controller.workers == 3
+        assert controller.policy == "shortest-cost"
+
+        relaxations = []
+        for tick in range(8):  # 8 calm ticks = 4 streaks of 2
+            controller.on_tick(0.5 + 0.25 * tick, 0)
+            relaxations = [
+                e["action"] for e in controller.timeline
+                if e["action"].startswith(("brownout_exit", "policy_revert",
+                                           "scale_down"))
+            ]
+        assert relaxations == ["brownout_exit", "policy_revert", "scale_down"]
+        assert not controller.brownout_active
+        assert controller.policy == "fifo"
+        assert controller.workers == 2  # back to initial = min_workers
+
+    def test_hysteresis_band_freezes_the_calm_streak(self):
+        """Mid-band pressure resets calm ticks: no relaxation happens."""
+        cfg = ControlConfig(
+            max_workers=3, hysteresis_ticks=2,
+            scale_up_burn=1.0, scale_down_burn=0.5,
+        )
+        controller = make_controller(cfg)
+        controller.on_tick(0.25, 10)  # escalate (scale_up)
+        assert controller.workers == 3
+        # Alternate calm / mid-band: the streak never reaches 2.
+        for tick in range(6):
+            depth = 0 if tick % 2 == 0 else 4  # burn 0.0 then 0.8
+            controller.on_tick(0.5 + 0.25 * tick, depth)
+        assert controller.workers == 3
+        assert controller.scale_downs == 0
+
+    def test_tenant_selection_scales_with_overshoot(self):
+        controller = make_controller()
+        for index, tenant in enumerate(["a", "a", "a", "b", "b", "c", "d"]):
+            controller.on_arrival(0.01 * index, tenant)
+        # burn 1.5 => half of 4 tenants; heaviest first, ties by name.
+        assert controller._select_tenants(1.5) == ("a", "b")
+        # burn >= 2.0 => everyone.
+        assert controller._select_tenants(2.5) == ("a", "b", "c", "d")
+        # Entering brownout always sheds at least one tenant.
+        assert controller._select_tenants(1.0) == ("a",)
+
+    def test_admission_reject_policy(self):
+        cfg = ControlConfig(shed_policy="reject", retry_after_ticks=4)
+        controller = make_controller(cfg)
+        controller.on_arrival(0.1, "t0")
+        controller.on_tick(0.25, 10)
+        assert controller.brownout_active
+        decision, retry_after = controller.admission(job(tenant="t0"))
+        assert decision == "shed"
+        assert retry_after == controller.tick_index + 4
+        assert controller.shed == 1
+        assert controller.per_tenant["t0"]["shed"] == 1
+        # A tenant outside the shed set is untouched.
+        assert controller.admission(job(tenant="zz"))[0] == "admit"
+        # Sheds never feed the organic error-rate window.
+        assert len(controller._rejections) == 0
+
+    def test_admission_degrade_policy(self):
+        controller = make_controller(ControlConfig(shed_policy="degrade"))
+        controller.on_arrival(0.1, "t0")
+        controller.on_tick(0.25, 10)
+        decision, k_prime = controller.admission(job(tenant="t0", k=4))
+        assert (decision, k_prime) == ("degrade", 2)  # default k // 2
+        assert controller.degraded == 1
+        assert controller.per_tenant["t0"]["degraded"] == 1
+
+    def test_admission_degrade_respects_explicit_brownout_k(self):
+        controller = make_controller(
+            ControlConfig(shed_policy="degrade", brownout_k=3)
+        )
+        controller.on_arrival(0.1, "t0")
+        controller.on_tick(0.25, 10)
+        assert controller.admission(job(tenant="t0", k=4)) == ("degrade", 3)
+        # k' >= k would be a no-op: admit at full quality instead.
+        assert controller.admission(job(tenant="t0", k=3)) == ("admit", None)
+
+    def test_admission_off_policy_never_sheds(self):
+        controller = make_controller(ControlConfig(shed_policy="off"))
+        controller.on_arrival(0.1, "t0")
+        controller.on_tick(0.25, 10)
+        assert not controller.brownout_active
+        assert controller.admission(job(tenant="t0")) == ("admit", None)
+
+    def test_metric_counts_names(self):
+        controller = make_controller()
+        assert set(controller.metric_counts()) == {
+            "control.ticks", "control.scale_ups", "control.scale_downs",
+            "control.policy_switches", "control.brownouts",
+            "control.shed", "control.degraded",
+        }
+
+    def test_report_section_shape(self):
+        controller = make_controller()
+        controller.on_arrival(0.1, "t0")
+        controller.on_tick(0.25, 10)
+        controller.admission(job(tenant="t0"))
+        section = controller.report_section()
+        assert section["workers"] == {
+            "initial": 2, "final": 3, "min": 2, "max": 4
+        }
+        assert section["policy"] == {"initial": "fifo", "final": "shortest-cost"}
+        assert section["brownouts"] == 1
+        assert "breakers" not in section
+        # Aggregated shedding flushed into the timeline on demand.
+        assert any(e["action"] == "degrade" for e in section["timeline"])
+
+        stats = ClusterStats(breaker_opens=2, breaker_short_circuits=5)
+        with_breakers = controller.report_section(stats)
+        assert with_breakers["breakers"] == {
+            "opens": 2, "probes": 0, "short_circuits": 5
+        }
+
+
+# ------------------------------------------------------------------ breakers
+
+
+class TestCircuitBreaker:
+    def test_opens_after_consecutive_failures(self):
+        breaker = CircuitBreaker(2, 8)
+        assert not breaker.record_failure(0)
+        assert breaker.record_failure(1)  # second consecutive: opens
+        assert breaker.open
+        assert breaker.allow(2) == (False, False)
+
+    def test_success_resets_the_streak(self):
+        breaker = CircuitBreaker(2, 8)
+        breaker.record_failure(0)
+        breaker.record_success()
+        assert not breaker.record_failure(1)  # streak restarted
+        assert not breaker.open
+
+    def test_half_open_probe_after_sequence_steps(self):
+        breaker = CircuitBreaker(1, 4)
+        breaker.record_failure(3)  # opens at seq 3
+        assert breaker.allow(6) == (False, False)
+        assert breaker.allow(7) == (True, True)  # 3 + 4: one probe through
+
+    def test_failed_probe_reopens_from_the_probe(self):
+        breaker = CircuitBreaker(1, 4)
+        breaker.record_failure(3)
+        assert breaker.allow(7)[1]  # probe
+        assert breaker.record_failure(7)  # probe failed: re-opens at 7
+        assert breaker.allow(10) == (False, False)
+        assert breaker.allow(11) == (True, True)
+
+    def test_successful_probe_closes(self):
+        breaker = CircuitBreaker(1, 4)
+        breaker.record_failure(3)
+        breaker.record_success()
+        assert not breaker.open
+        assert breaker.allow(4) == (True, False)
+
+
+class TestBreakerBoard:
+    def test_accounting_lands_in_cluster_stats(self):
+        stats = ClusterStats()
+        board = BreakerBoard(2, 4, stats=stats)
+        board.failure(0, 1, 0)
+        board.failure(0, 1, 1)
+        assert stats.breaker_opens == 1
+        assert board.state(0, 1) == "open"
+        assert not board.allow(0, 1, 2)
+        assert stats.breaker_short_circuits == 1
+        assert board.allow(0, 1, 5)  # probe
+        assert stats.breaker_probes == 1
+        board.success(0, 1)
+        assert board.state(0, 1) == "closed"
+        # Other replicas are independent.
+        assert board.state(0, 0) == "closed"
+        assert board.allow(0, 0, 0)
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            BreakerBoard(0, 4)
+        with pytest.raises(ConfigurationError):
+            BreakerBoard(2, 0)
+
+
+# ----------------------------------------------------------- scheduler drain
+
+
+class TestSchedulerDrain:
+    @pytest.mark.parametrize("policy", POLICIES)
+    def test_drain_returns_exactly_the_queued_entries(self, policy):
+        scheduler = make_scheduler(policy, 16)
+        submitted = []
+        for index in range(6):
+            queued = job(job_id=index, tenant=f"t{index % 2}", group_id=index)
+            cost = 0.01 * (6 - index)
+            scheduler.submit(queued, cost)
+            submitted.append((queued, cost))
+        entries = scheduler.drain()
+        assert sorted(entries, key=lambda e: e[0].job_id) == submitted
+        assert len(scheduler) == 0
+        assert scheduler.pop() is None
+
+    @pytest.mark.parametrize("source", POLICIES)
+    @pytest.mark.parametrize("target", POLICIES)
+    def test_drain_and_rebuild_preserves_the_job_set(self, source, target):
+        """The engine's policy switch loses no queued job."""
+        scheduler = make_scheduler(source, 16)
+        for index in range(5):
+            scheduler.submit(job(job_id=index, group_id=index), 0.01 * index)
+        entries = scheduler.drain()
+        rebuilt = make_scheduler(target, 16)
+        for queued, cost in sorted(entries, key=lambda e: e[0].job_id):
+            rebuilt.submit(queued, cost)
+        drained = {queued.job_id for queued, _ in rebuilt.drain()}
+        assert drained == set(range(5))
+
+
+# -------------------------------------------------- plan-phase shed auditing
+
+
+class TestPlanPhaseShedding:
+    """plan() is pure simulation: shedding audits run without any crypto."""
+
+    def test_reject_policy_sheds_typed_with_retry_after(self, lsp, config, space):
+        control = hair_trigger_control(shed_policy="reject")
+        engine = ServeEngine(lsp, config, ServeConfig(workers=1, control=control))
+        workload = generate_workload(overload_spec(), space)
+        planned, rejected, _ = engine.plan(workload)
+        assert rejected, "a 4x flash crowd against one worker must shed"
+        assert len(planned) + len(rejected) == len(workload.jobs)
+        for rejection in rejected:
+            assert rejection.error_type == "OverloadSheddedError"
+            assert rejection.retry_after is not None
+            assert rejection.retry_after > 0
+        controller = engine._controller
+        assert controller.shed == len(rejected)
+        per_tenant = sum(
+            counts["shed"] for counts in controller.per_tenant.values()
+        )
+        assert per_tenant == len(rejected)
+
+    def test_degrade_policy_plans_at_reduced_k(self, lsp, config, space):
+        control = hair_trigger_control(shed_policy="degrade")
+        engine = ServeEngine(lsp, config, ServeConfig(workers=1, control=control))
+        planned, rejected, _ = engine.plan(generate_workload(overload_spec(), space))
+        assert rejected == []  # degrade admits everyone
+        degraded = [p for p in planned if p.job.brownout_k is not None]
+        assert degraded, "brownout must degrade some admitted jobs"
+        for slot in degraded:
+            assert slot.job.brownout_k == 2  # k // 2 of k=4
+        assert engine._controller.degraded == len(degraded)
+
+    def test_calm_plan_is_identical_to_no_control(self, lsp, config, space):
+        spec = WorkloadSpec(
+            queries=12, rate_qps=5.0, protocol_mix={"ppgnn": 1.0},
+            group_size_mix={2: 1.0}, k_mix={4: 1.0}, groups=4, seed=3,
+        )
+        workload = generate_workload(spec, space)
+        calm = ControlConfig(tick_seconds=0.25, max_workers=4)
+        with_control = ServeEngine(
+            lsp, config, ServeConfig(workers=2, control=calm)
+        ).plan(workload)
+        without = ServeEngine(lsp, config, ServeConfig(workers=2)).plan(workload)
+        assert with_control == without
+
+
+# ------------------------------------------------------ engine-level contracts
+
+
+def run_report(lsp, config, space, *, seed, executor="serial", control=None,
+               cluster=None, workers=1, queries=24, rate=2000.0):
+    serve = ServeConfig(
+        workers=workers, executor=executor, control=control, cluster=cluster,
+    )
+    workload = generate_workload(overload_spec(seed=seed, queries=queries,
+                                               rate=rate), space)
+    return ServeEngine(lsp, config, serve).run(workload)
+
+
+class TestControlDeterminism:
+    @settings(max_examples=3, deadline=None)
+    @given(seed=st.integers(min_value=0, max_value=50))
+    def test_serial_and_process_control_timelines_match(
+        self, seed, lsp, config, space
+    ):
+        """Identical seeds give identical reports — executor aside."""
+        control = hair_trigger_control()
+        serial = run_report(
+            lsp, config, space, seed=seed, executor="serial", control=control
+        ).to_dict()
+        process = run_report(
+            lsp, config, space, seed=seed, executor="process", control=control
+        ).to_dict()
+        assert serial.pop("executor") == "serial"
+        assert process.pop("executor") == "process"
+        assert serial == process
+
+    @settings(max_examples=3, deadline=None)
+    @given(seed=st.integers(min_value=0, max_value=50))
+    def test_calm_workload_is_byte_identical_to_no_control(
+        self, seed, lsp, config, space
+    ):
+        """A configured-but-idle controller leaves no trace at all."""
+        spec = WorkloadSpec(
+            queries=8, rate_qps=4.0, protocol_mix={"ppgnn": 1.0},
+            group_size_mix={2: 1.0}, k_mix={4: 1.0}, groups=4, seed=seed,
+        )
+        workload = generate_workload(spec, space)
+        calm = ControlConfig(tick_seconds=0.5, max_workers=4)
+        with_control = ServeEngine(
+            lsp, config, ServeConfig(workers=2, control=calm)
+        ).run(workload)
+        without = ServeEngine(lsp, config, ServeConfig(workers=2)).run(workload)
+        assert with_control.control is None
+        assert json.dumps(with_control.to_dict(), sort_keys=True) == json.dumps(
+            without.to_dict(), sort_keys=True
+        )
+
+
+class TestOverloadAcceptance:
+    """ISSUE 7's acceptance scenario: a seeded flash crowd at 4x the
+    sustainable rate with one shard killed."""
+
+    @pytest.fixture(scope="class")
+    def report_and_slo(self, pois, cluster_config, space):
+        lsp = LSPServer(pois, sanitation_samples=SAMPLES, seed=99)
+        slo = SLOPolicy(latency_p99=0.25)
+        control = ControlConfig(
+            tick_seconds=0.002,
+            window_seconds=0.008,
+            slo=slo,
+            max_workers=4,
+            shed_policy="degrade",
+            # The queue is the leading indicator here: a handful of
+            # waiting jobs against one worker is already deep overload.
+            queue_high_fraction=0.05,
+        )
+        cluster = ClusterConfig(
+            shards=3, replicas=2, quorum=0.5,
+            faults=ShardFaultPlan.killing({(1, 0): 0, (1, 1): 0}, seed=3),
+        )
+        report = run_report(
+            lsp, cluster_config, space, seed=21, control=control,
+            cluster=cluster, workers=1, queries=24, rate=2000.0,
+        )
+        return report, slo
+
+    def test_zero_unhandled_errors(self, report_and_slo):
+        report, _ = report_and_slo
+        assert report.failed == 0
+        assert report.completed + report.rejected == report.queries
+
+    def test_every_shed_is_typed(self, report_and_slo):
+        report, _ = report_and_slo
+        for rejection in report.rejections:
+            assert rejection.error_type in (
+                "OverloadSheddedError", "QueueFullError", "AdmissionRejectedError",
+            )
+
+    def test_control_loop_actuated(self, report_and_slo):
+        report, _ = report_and_slo
+        assert report.control is not None
+        assert report.control["brownouts"] >= 1
+        assert report.control["degraded"] > 0
+        assert report.control["breakers"]["opens"] > 0
+
+    def test_degraded_jobs_carry_quality_scored_partial_answers(
+        self, report_and_slo
+    ):
+        report, _ = report_and_slo
+        degraded = [
+            o for o in report.outcomes.values()
+            if o.ok and o.degraded_k is not None
+        ]
+        assert degraded
+        for outcome in degraded:
+            assert outcome.partial
+            assert outcome.partial_answer is not None
+            quality = outcome.partial_answer.quality
+            assert 0.0 < quality.expected_recall <= outcome.degraded_k / 4
+            assert len(outcome.answer_ids) == outcome.degraded_k
+
+    def test_admitted_p99_within_slo(self, report_and_slo):
+        report, slo = report_and_slo
+        assert report.latency_p99 <= slo.latency_p99
