@@ -167,8 +167,16 @@ def build_parser() -> argparse.ArgumentParser:
         help="minimum POI coverage fraction before a job fails outright",
     )
     serve.add_argument(
-        "--partition", default="spatial", choices=["spatial", "round-robin"],
+        "--partition", default="spatial",
+        choices=["spatial", "round-robin", "str"],
         help="shard partitioning strategy",
+    )
+    serve.add_argument(
+        "--index", default="rtree",
+        choices=["rtree", "kdtree", "grid", "bruteforce", "spill", "lsh"],
+        help="index substrate behind the kGNN engine (exact kinds keep the "
+        "answers digest byte-identical; spill/lsh are approximate and mark "
+        "answers partial with a measured recall)",
     )
     serve.add_argument(
         "--hedge-factor", type=float, default=2.0,
@@ -210,6 +218,33 @@ def build_parser() -> argparse.ArgumentParser:
         "--slo-p99", type=float, default=None,
         help="p99 latency budget (simulated seconds) fed to the "
         "controller's SLO signal",
+    )
+
+    index_build = sub.add_parser(
+        "index-build",
+        help="bulk-load a large POI set through the parallel STR builder",
+    )
+    index_build.add_argument(
+        "--count", type=int, default=1_000_000, help="POIs to generate and load"
+    )
+    index_build.add_argument(
+        "--kind", default="uniform", choices=["uniform", "clustered", "geo-skew"],
+        help="streaming POI distribution",
+    )
+    index_build.add_argument(
+        "--workers", type=int, default=4, help="STR build worker processes"
+    )
+    index_build.add_argument(
+        "--max-entries", type=int, default=64, help="R-tree fan-out"
+    )
+    index_build.add_argument(
+        "--verify-count", type=int, default=50_000,
+        help="also build this many POIs serially AND in parallel and compare "
+        "structural digests (0 skips the check)",
+    )
+    index_build.add_argument("--seed", type=int, default=1, help="dataset seed")
+    index_build.add_argument(
+        "--json", action="store_true", help="print the result as JSON"
     )
 
     trace = sub.add_parser(
@@ -399,7 +434,7 @@ def _cmd_serve_bench(args: argparse.Namespace) -> int:
     from repro.serve import ServeConfig, ServeEngine, WorkloadSpec, generate_workload
     from repro.transport.faults import FaultPlan
 
-    lsp = LSPServer(load_sequoia(args.pois), seed=args.seed)
+    lsp = LSPServer(load_sequoia(args.pois), seed=args.seed, index=args.index)
     cluster = None
     if args.shards > 0:
         from repro.cluster import ClusterConfig, ShardFaultPlan
@@ -472,6 +507,7 @@ def _cmd_serve_bench(args: argparse.Namespace) -> int:
         obs=args.obs or args.trace_out is not None,
         cluster=cluster,
         control=control,
+        index=args.index,
     )
     workload = generate_workload(spec, lsp.space)
     report = ServeEngine(lsp, config, serve).run(workload)
@@ -709,9 +745,75 @@ def _perf_metrics(protocol: str, args: argparse.Namespace) -> dict[str, float]:
         "protocol.rounds": rounds,
         "comm.bytes_total": result.report.total_comm_bytes,
         "answers.count": len(result.answers),
+        "index.queries": lsp.engine.index_counters.queries,
+        "index.nodes_visited": lsp.engine.index_counters.nodes_visited,
+        "index.candidates_scored": lsp.engine.index_counters.candidates_scored,
         "time.user_seconds": round(result.report.user_cost_seconds, 6),
         "time.lsp_seconds": round(result.report.lsp_cost_seconds, 6),
     }
+
+
+def _cmd_index_build(args: argparse.Namespace) -> int:
+    import json as json_module
+    import time
+
+    from repro.datasets import stream_pois
+    from repro.index.rtree import RTree
+    from repro.spatial import parallel_str_bulk_load, tree_digest
+
+    if args.count < 1:
+        raise ReproError("--count must be >= 1")
+    started = time.perf_counter()
+    tree = RTree(max_entries=args.max_entries)
+    parallel_str_bulk_load(
+        tree,
+        ((poi.location, poi) for poi in stream_pois(args.kind, args.count, seed=args.seed)),
+        workers=args.workers,
+    )
+    build_seconds = time.perf_counter() - started
+    result = {
+        "count": len(tree),
+        "kind": args.kind,
+        "workers": args.workers,
+        "max_entries": args.max_entries,
+        "height": tree.height,
+        "build_seconds": round(build_seconds, 3),
+        "pois_per_second": round(args.count / build_seconds),
+    }
+    if args.verify_count > 0:
+        verify = min(args.verify_count, args.count)
+        entries = [
+            (poi.location, poi)
+            for poi in stream_pois(args.kind, verify, seed=args.seed)
+        ]
+        serial = RTree(max_entries=args.max_entries)
+        serial.bulk_load(entries)
+        parallel = RTree(max_entries=args.max_entries)
+        parallel_str_bulk_load(parallel, entries, workers=max(2, args.workers))
+        serial_digest = tree_digest(serial)
+        parallel_digest = tree_digest(parallel)
+        result["verify_count"] = verify
+        result["serial_digest"] = serial_digest
+        result["parallel_digest"] = parallel_digest
+        result["digests_identical"] = serial_digest == parallel_digest
+        if not result["digests_identical"]:
+            print(json_module.dumps(result, indent=2))
+            print("error: serial and parallel STR builds diverged", file=sys.stderr)
+            return 1
+    if args.json:
+        print(json_module.dumps(result, indent=2))
+    else:
+        print(
+            f"built {result['count']} POIs ({args.kind}) in "
+            f"{result['build_seconds']}s with {args.workers} workers "
+            f"({result['pois_per_second']}/s, height {result['height']})"
+        )
+        if args.verify_count > 0:
+            print(
+                f"serial == parallel digest at {result['verify_count']} POIs: "
+                f"{result['digests_identical']}"
+            )
+    return 0
 
 
 def _cmd_perf_check(args: argparse.Namespace) -> int:
@@ -798,6 +900,7 @@ _COMMANDS = {
     "attack": _cmd_attack,
     "solve": _cmd_solve,
     "serve-bench": _cmd_serve_bench,
+    "index-build": _cmd_index_build,
     "trace": _cmd_trace,
     "analyze": _cmd_analyze,
     "perf-check": _cmd_perf_check,

@@ -195,6 +195,14 @@ class ClusterRunner:
         self.ring = HashRing(
             cluster.shards, cluster.replicas, cluster.virtual_nodes
         )
+        # Shards inherit the cell's index substrate — exact kinds only:
+        # the merge's coverage math assumes exact per-shard answers.
+        index = getattr(lsp.engine, "index_kind", "rtree")
+        if getattr(lsp.engine, "is_approximate", False):
+            raise ConfigurationError(
+                f"approximate index {index!r} cannot back a cluster; "
+                "use an exact index kind"
+            )
         self.shard_lsps = [
             LSPServer(
                 pois=list(cell),
@@ -204,6 +212,7 @@ class ClusterRunner:
                 eta=lsp.eta,
                 phi=lsp.phi,
                 sanitation_samples=lsp.sanitation_samples,
+                index=index,
             )
             for cell in self.topology.shard_pois
         ]

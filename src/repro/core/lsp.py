@@ -62,6 +62,8 @@ class LSPServer:
         sanitation_samples: int | None = None,
         seed: int = 0,
         engine=None,
+        index: str = "rtree",
+        build_workers: int | None = None,
     ) -> None:
         """Build the provider from a POI list or a custom query engine.
 
@@ -89,7 +91,13 @@ class LSPServer:
             if not pois:
                 raise ProtocolError("the POI database must be non-empty")
             self.aggregate = get_aggregate(aggregate_name)
-            self.engine = GNNQueryEngine(pois, aggregate=self.aggregate)
+            self.engine = GNNQueryEngine(
+                pois,
+                aggregate=self.aggregate,
+                index=index,
+                space=self.space,
+                build_workers=build_workers,
+            )
             self._sanitation_supported = True
         self.gamma = gamma
         self.eta = eta

@@ -7,6 +7,12 @@ distance from any point inside the MBR, this value lower-bounds the
 aggregate cost of every POI under the node, so best-first order remains
 exact.  This is the plaintext kGNN black box run per candidate query by the
 LSP (Algorithm 2 line 3).
+
+Like :mod:`repro.gnn.knn` the search is index-agnostic: it walks whatever
+hierarchy :meth:`~repro.index.base.SpatialIndex.traversal_roots` exposes,
+and falls back to scoring every entry exhaustively for flat indexes —
+identical answers, different work, both metered through the optional
+:class:`~repro.index.base.IndexCounters`.
 """
 
 from __future__ import annotations
@@ -19,14 +25,32 @@ from repro.errors import ConfigurationError
 from repro.geometry.distance import mindist_point_rect
 from repro.geometry.point import Point
 from repro.gnn.aggregate import Aggregate
-from repro.index.rtree import RTree
+from repro.index.base import IndexCounters, SpatialIndex
 
 
-def mbm_kgnn(
-    tree: RTree,
+def _fallback_kgnn(
+    tree: SpatialIndex,
     locations: Sequence[Point],
     k: int,
     aggregate: Aggregate,
+    counters: IndexCounters | None,
+) -> list[tuple[Point, Any, float]]:
+    """Score every entry; same ordering contract as the best-first walk."""
+    ranked = sorted(
+        (aggregate(p.distance_to(q) for q in locations), (p.x, p.y), i, p, item)
+        for i, (p, item) in enumerate(tree.entries())
+    )
+    if counters is not None:
+        counters.candidates_scored += len(ranked)
+    return [(p, item, score) for score, _, _, p, item in ranked[:k]]
+
+
+def mbm_kgnn(
+    tree: SpatialIndex,
+    locations: Sequence[Point],
+    k: int,
+    aggregate: Aggregate,
+    counters: IndexCounters | None = None,
 ) -> list[tuple[Point, Any, float]]:
     """Exact top-``k`` group nearest neighbors.
 
@@ -38,12 +62,15 @@ def mbm_kgnn(
         raise ConfigurationError("k must be positive")
     if not locations:
         raise ConfigurationError("kGNN query needs at least one location")
+    roots = tree.traversal_roots()
+    if roots is None:
+        return _fallback_kgnn(tree, locations, k, aggregate, counters)
     seq = count()
     heap: list[tuple[float, tuple[float, float], int, bool, Any]] = []
-    root = tree.root
-    if root.mbr is not None:
-        bound = aggregate(mindist_point_rect(q, root.mbr) for q in locations)
-        heapq.heappush(heap, (bound, (0.0, 0.0), next(seq), False, root))
+    for root in roots:
+        if root.mbr is not None:
+            bound = aggregate(mindist_point_rect(q, root.mbr) for q in locations)
+            heapq.heappush(heap, (bound, (0.0, 0.0), next(seq), False, root))
     result: list[tuple[Point, Any, float]] = []
     while heap and len(result) < k:
         score, _, _, is_point, payload = heapq.heappop(heap)
@@ -52,7 +79,11 @@ def mbm_kgnn(
             result.append((p, item, score))
             continue
         node = payload
+        if counters is not None:
+            counters.nodes_visited += 1
         if node.is_leaf:
+            if counters is not None:
+                counters.candidates_scored += len(node.points)
             for p, item in zip(node.points, node.items, strict=True):
                 cost = aggregate(p.distance_to(q) for q in locations)
                 heapq.heappush(heap, (cost, (p.x, p.y), next(seq), True, (p, item)))

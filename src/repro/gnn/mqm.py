@@ -21,14 +21,15 @@ from repro.errors import ConfigurationError
 from repro.geometry.point import Point
 from repro.gnn.aggregate import Aggregate
 from repro.gnn.knn import incremental_nearest
-from repro.index.rtree import RTree
+from repro.index.base import IndexCounters, SpatialIndex
 
 
 def mqm_kgnn(
-    tree: RTree,
+    tree: SpatialIndex,
     locations: Sequence[Point],
     k: int,
     aggregate: Aggregate,
+    counters: IndexCounters | None = None,
 ) -> list[tuple[Point, Any, float]]:
     """Exact top-``k`` group nearest neighbors via the threshold algorithm.
 
@@ -38,7 +39,7 @@ def mqm_kgnn(
         raise ConfigurationError("k must be positive")
     if not locations:
         raise ConfigurationError("kGNN query needs at least one location")
-    streams = [incremental_nearest(tree, l) for l in locations]
+    streams = [incremental_nearest(tree, l, counters) for l in locations]
     frontiers = [0.0] * len(locations)
     exhausted = [False] * len(locations)
     seen: set[int] = set()

@@ -24,7 +24,7 @@ from repro.errors import ConfigurationError
 from repro.geometry.point import Point
 from repro.gnn.aggregate import Aggregate
 from repro.gnn.knn import incremental_nearest
-from repro.index.rtree import RTree
+from repro.index.base import IndexCounters, SpatialIndex
 
 #: Per-aggregate lower bound factory: (n, dists q->users) -> bound(dist_pq).
 _BOUNDS: dict[str, Callable[[int, list[float]], Callable[[float], float]]] = {
@@ -44,10 +44,11 @@ def centroid(locations: Sequence[Point]) -> Point:
 
 
 def spm_kgnn(
-    tree: RTree,
+    tree: SpatialIndex,
     locations: Sequence[Point],
     k: int,
     aggregate: Aggregate,
+    counters: IndexCounters | None = None,
 ) -> list[tuple[Point, Any, float]]:
     """Exact top-``k`` group nearest neighbors via the single-point method.
 
@@ -70,7 +71,7 @@ def spm_kgnn(
     bound = bound_factory(len(locations), dq)
 
     best: list[tuple[float, Point, Any]] = []  # sorted ascending by (score, point)
-    for dist_pq, p, item in incremental_nearest(tree, q):
+    for dist_pq, p, item in incremental_nearest(tree, q, counters):
         if len(best) >= k and bound(dist_pq) > best[k - 1][0]:
             break
         score = aggregate(p.distance_to(l) for l in locations)

@@ -3,10 +3,83 @@
 from __future__ import annotations
 
 from abc import ABC, abstractmethod
+from dataclasses import dataclass
 from typing import Any, Iterable, Iterator
 
+from repro.errors import ConfigurationError
 from repro.geometry.point import Point
 from repro.geometry.rect import Rect
+
+
+@dataclass
+class IndexCounters:
+    """Exact per-engine work counters, published as ``index.*`` metrics.
+
+    ``candidates_scored`` counts every entry whose exact distance (or
+    aggregate score) was computed — the honest measure of per-query
+    candidate work, and the counter the index-scale perf baseline gates.
+    ``nodes_visited`` counts tree nodes expanded by hierarchical searches
+    (always 0 for flat indexes).
+    """
+
+    queries: int = 0
+    nodes_visited: int = 0
+    candidates_scored: int = 0
+
+    def merge(self, other: "IndexCounters") -> None:
+        """Fold another engine's counters into this one (cluster roll-up)."""
+        self.queries += other.queries
+        self.nodes_visited += other.nodes_visited
+        self.candidates_scored += other.candidates_scored
+
+
+class TraversalNode:
+    """A synthetic best-first traversal node for non-tree indexes.
+
+    Matches the node protocol of the R-tree (``is_leaf`` / ``points`` /
+    ``items`` / ``children`` / ``mbr``), so an index without a native node
+    hierarchy can still expose :meth:`SpatialIndex.traversal_roots` by
+    wrapping its buckets.
+    """
+
+    __slots__ = ("is_leaf", "points", "items", "children", "mbr")
+
+    def __init__(
+        self,
+        is_leaf: bool,
+        points: list[Point] | None = None,
+        items: list[Any] | None = None,
+        children: list | None = None,
+        mbr: Rect | None = None,
+    ) -> None:
+        self.is_leaf = is_leaf
+        self.points = points if points is not None else []
+        self.items = items if items is not None else []
+        self.children = children if children is not None else []
+        self.mbr = mbr
+
+
+def validate_location(location: Point) -> Point:
+    """Reject non-finite coordinates with one consistent error.
+
+    Every index calls this on insert and bulk load, so NaN/inf inputs fail
+    identically regardless of which index backs the engine (a NaN would
+    otherwise poison comparisons silently in some indexes and raise
+    obscurely in others).
+    """
+    if not location.is_finite:
+        raise ConfigurationError(f"non-finite location {location}")
+    return location
+
+
+def validate_entries(items: Iterable[tuple[Point, Any]]) -> list[tuple[Point, Any]]:
+    """Materialize and validate a bulk-load entry iterable."""
+    pairs = []
+    for location, item in items:
+        if not location.is_finite:
+            raise ConfigurationError(f"non-finite location {location}")
+        pairs.append((location, item))
+    return pairs
 
 
 class SpatialIndex(ABC):
@@ -15,7 +88,16 @@ class SpatialIndex(ABC):
     ``item`` is opaque to the index (the LSP stores POI objects).  All
     indexes in this package implement the same minimal surface so query
     algorithms (kNN, MBM kGNN) and tests can swap them freely.
+
+    Duplicate *locations* are allowed everywhere (two POIs may share one
+    coordinate); duplicate identical ``(location, item)`` entries are kept
+    as distinct entries, matching insertion-order semantics.  Non-finite
+    locations are rejected consistently via :func:`validate_location`.
     """
+
+    #: Monotone mutation counter: every content change bumps it, so result
+    #: caches keyed on ``(version, query)`` invalidate automatically.
+    version: int = 0
 
     @abstractmethod
     def insert(self, location: Point, item: Any) -> None:
@@ -35,8 +117,19 @@ class SpatialIndex(ABC):
 
     def bulk_load(self, items: Iterable[tuple[Point, Any]]) -> None:
         """Insert many entries; subclasses may override with a faster path."""
-        for location, item in items:
+        for location, item in validate_entries(items):
             self.insert(location, item)
+
+    def traversal_roots(self) -> list | None:
+        """Best-first traversal hook: root node(s), or None when unavailable.
+
+        Returned nodes follow the R-tree node protocol (``is_leaf``,
+        ``points``/``items`` on leaves, ``children`` on inner nodes, and an
+        ``mbr`` that bounds everything beneath).  Query algorithms fall
+        back to an exhaustive sorted scan over :meth:`entries` when this
+        returns None, so non-hierarchical indexes stay exact.
+        """
+        return None
 
     def __bool__(self) -> bool:
         return len(self) > 0

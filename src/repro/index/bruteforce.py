@@ -11,7 +11,7 @@ from typing import Any, Iterator
 
 from repro.geometry.point import Point
 from repro.geometry.rect import Rect
-from repro.index.base import SpatialIndex
+from repro.index.base import SpatialIndex, validate_location
 
 
 class BruteForceIndex(SpatialIndex):
@@ -19,8 +19,11 @@ class BruteForceIndex(SpatialIndex):
 
     def __init__(self) -> None:
         self._entries: list[tuple[Point, Any]] = []
+        self.version = 0
 
     def insert(self, location: Point, item: Any) -> None:
+        validate_location(location)
+        self.version += 1
         self._entries.append((location, item))
 
     def __len__(self) -> int:

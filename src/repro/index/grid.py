@@ -8,13 +8,18 @@ It also doubles as a general-purpose spatial index for comparison tests.
 
 from __future__ import annotations
 
-from typing import Any, Iterator
+from typing import Any, Iterable, Iterator
 
 from repro.errors import ConfigurationError
 from repro.geometry.point import Point
 from repro.geometry.rect import Rect
 from repro.geometry.space import LocationSpace
-from repro.index.base import SpatialIndex
+from repro.index.base import (
+    SpatialIndex,
+    TraversalNode,
+    validate_entries,
+    validate_location,
+)
 
 
 class GridIndex(SpatialIndex):
@@ -27,6 +32,7 @@ class GridIndex(SpatialIndex):
         self.cells_per_side = cells_per_side
         self._buckets: dict[tuple[int, int], list[tuple[Point, Any]]] = {}
         self._count = 0
+        self.version = 0
 
     def cell_of(self, p: Point) -> tuple[int, int]:
         """The (column, row) cell containing ``p``; boundary points clamp inward."""
@@ -58,8 +64,52 @@ class GridIndex(SpatialIndex):
         return ((c, r) for c in range(g) for r in range(g))
 
     def insert(self, location: Point, item: Any) -> None:
+        validate_location(location)
+        self.version += 1
         self._buckets.setdefault(self.cell_of(location), []).append((location, item))
         self._count += 1
+
+    def bulk_load(self, items: Iterable[tuple[Point, Any]]) -> None:
+        """One-pass bucket fill; replaces the current contents.
+
+        Validates every entry up front (so a NaN halfway through an
+        iterable cannot leave the grid half-loaded), then bins without the
+        per-insert method dispatch — the same entries land in the same
+        buckets in the same order as an insert loop would produce.
+        """
+        pairs = validate_entries(items)
+        self.version += 1
+        buckets: dict[tuple[int, int], list[tuple[Point, Any]]] = {}
+        cell_of = self.cell_of
+        for location, item in pairs:
+            buckets.setdefault(cell_of(location), []).append((location, item))
+        self._buckets = buckets
+        self._count = len(pairs)
+
+    def traversal_roots(self) -> list[TraversalNode]:
+        """A synthetic two-level hierarchy: one leaf node per occupied cell.
+
+        Built on demand from the live buckets (O(n)); leaf MBRs are tight
+        over the actual points, so best-first searches prune exactly.
+        Cells are visited in sorted key order for determinism.
+        """
+        children: list[TraversalNode] = []
+        root_mbr: Rect | None = None
+        for key in sorted(self._buckets):
+            bucket = self._buckets[key]
+            if not bucket:
+                continue
+            mbr = Rect.from_points([p for p, _ in bucket])
+            leaf = TraversalNode(
+                is_leaf=True,
+                points=[p for p, _ in bucket],
+                items=[item for _, item in bucket],
+                mbr=mbr,
+            )
+            children.append(leaf)
+            root_mbr = mbr if root_mbr is None else root_mbr.union(mbr)
+        root = TraversalNode(is_leaf=False, children=children, mbr=root_mbr)
+        return [root]
 
     def __len__(self) -> int:
         return self._count

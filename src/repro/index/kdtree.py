@@ -19,7 +19,12 @@ from typing import Any, Iterator
 
 from repro.geometry.point import Point
 from repro.geometry.rect import Rect
-from repro.index.base import SpatialIndex
+from repro.index.base import (
+    SpatialIndex,
+    TraversalNode,
+    validate_entries,
+    validate_location,
+)
 
 
 class _KDNode:
@@ -33,17 +38,73 @@ class _KDNode:
         self.right: "_KDNode | None" = None
 
 
-def _build(entries: list[tuple[Point, Any]], depth: int) -> _KDNode | None:
-    if not entries:
+def _build_presorted(
+    entries: list[tuple[Point, Any]],
+    by_x: list[int],
+    by_y: list[int],
+    side: list[int],
+    depth: int,
+) -> _KDNode | None:
+    """Median-split construction over pre-sorted index lists.
+
+    The classic O(n log n) bulk build: instead of re-sorting every
+    recursion level (the naive O(n log^2 n) construction this replaced),
+    both axis orders are sorted once up front and partitioned *stably*
+    around each median, so every level costs O(n) total.  ``side`` is a
+    scratch array indexed by entry id.
+    """
+    if not by_x:
         return None
     axis = depth % 2
-    entries.sort(key=lambda e: (e[0].x if axis == 0 else e[0].y, e[0]))
-    mid = len(entries) // 2
-    point, item = entries[mid]
+    ordered = by_x if axis == 0 else by_y
+    mid = len(ordered) // 2
+    pivot = ordered[mid]
+    point, item = entries[pivot]
     node = _KDNode(point, item, axis)
-    node.left = _build(entries[:mid], depth + 1)
-    node.right = _build(entries[mid + 1 :], depth + 1)
+    for rank, idx in enumerate(ordered):
+        side[idx] = (rank > mid) - (rank < mid)  # -1 left, 0 pivot, +1 right
+    x_left = [i for i in by_x if side[i] < 0]
+    x_right = [i for i in by_x if side[i] > 0]
+    y_left = [i for i in by_y if side[i] < 0]
+    y_right = [i for i in by_y if side[i] > 0]
+    node.left = _build_presorted(entries, x_left, y_left, side, depth + 1)
+    node.right = _build_presorted(entries, x_right, y_right, side, depth + 1)
     return node
+
+
+#: Subtrees at most this large collapse into one traversal leaf.
+_TRAVERSAL_LEAF = 32
+
+
+def _to_traversal(node: _KDNode) -> tuple[TraversalNode, list[tuple[Point, Any]]]:
+    """Wrap a k-d subtree in MBR-annotated traversal nodes, bottom-up."""
+    sub_entries: list[tuple[Point, Any]] = [(node.point, node.item)]
+    children: list[TraversalNode] = []
+    for child in (node.left, node.right):
+        if child is not None:
+            wrapped, wrapped_entries = _to_traversal(child)
+            children.append(wrapped)
+            sub_entries.extend(wrapped_entries)
+    if len(sub_entries) <= _TRAVERSAL_LEAF:
+        leaf = TraversalNode(
+            is_leaf=True,
+            points=[p for p, _ in sub_entries],
+            items=[item for _, item in sub_entries],
+            mbr=Rect.from_points([p for p, _ in sub_entries]),
+        )
+        return leaf, sub_entries
+    children.append(
+        TraversalNode(
+            is_leaf=True,
+            points=[node.point],
+            items=[node.item],
+            mbr=Rect.from_points([node.point]),
+        )
+    )
+    mbr = children[0].mbr
+    for child in children[1:]:
+        mbr = mbr.union(child.mbr)
+    return TraversalNode(is_leaf=False, children=children, mbr=mbr), sub_entries
 
 
 class KDTree(SpatialIndex):
@@ -53,14 +114,26 @@ class KDTree(SpatialIndex):
         self._root: _KDNode | None = None
         self._count = 0
         self._overflow: list[tuple[Point, Any]] = []
+        self.version = 0
+        self._traversal_cache: tuple[int, list[TraversalNode]] | None = None
 
     def bulk_load(self, items) -> None:
-        entries = list(items)
-        self._root = _build(entries, 0)
+        self.version += 1
+        entries = validate_entries(items)
+        by_x = sorted(
+            range(len(entries)), key=lambda i: (entries[i][0].x, entries[i][0])
+        )
+        by_y = sorted(
+            range(len(entries)), key=lambda i: (entries[i][0].y, entries[i][0])
+        )
+        side = [0] * len(entries)
+        self._root = _build_presorted(entries, by_x, by_y, side, 0)
         self._count = len(entries)
         self._overflow = []
 
     def insert(self, location: Point, item: Any) -> None:
+        validate_location(location)
+        self.version += 1
         self._overflow.append((location, item))
         self._count += 1
 
@@ -75,6 +148,25 @@ class KDTree(SpatialIndex):
 
     def __len__(self) -> int:
         return self._count
+
+    def traversal_roots(self) -> list[TraversalNode] | None:
+        """An MBR-annotated view of the tree for generic best-first search.
+
+        k-d nodes carry no bounding rectangles, so this wraps the tree in
+        :class:`TraversalNode` shells with bottom-up MBRs (subtrees of at
+        most ``_TRAVERSAL_LEAF`` entries collapse into one leaf).  The view
+        is rebuilt lazily and cached per mutation version.  With buffered
+        inserts pending the view would be incomplete, so the hook returns
+        None and searches take the exact exhaustive fallback.
+        """
+        if self._overflow or self._root is None:
+            return None
+        if self._traversal_cache is not None and self._traversal_cache[0] == self.version:
+            return self._traversal_cache[1]
+        root, _ = _to_traversal(self._root)
+        roots = [root]
+        self._traversal_cache = (self.version, roots)
+        return roots
 
     def entries(self) -> Iterator[tuple[Point, Any]]:
         stack = [self._root] if self._root else []

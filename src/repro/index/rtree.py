@@ -17,7 +17,42 @@ from typing import Any, Iterable, Iterator
 from repro.errors import ConfigurationError
 from repro.geometry.point import Point
 from repro.geometry.rect import Rect
-from repro.index.base import SpatialIndex
+from repro.index.base import SpatialIndex, validate_entries, validate_location
+
+
+def str_slices(
+    pairs: list[tuple[Point, Any]], cap: int
+) -> list[list[tuple[Point, Any]]]:
+    """The vertical STR slices of ``pairs`` (already sorted by ``(x, y)``).
+
+    Pure and deterministic: the slice boundaries depend only on the entry
+    count and the node capacity, which is what lets
+    :func:`repro.spatial.str_build.parallel_str_bulk_load` hand each slice
+    to a different worker process and still stitch the exact tree a serial
+    build produces.
+    """
+    if not pairs:
+        return []
+    leaf_count = math.ceil(len(pairs) / cap)
+    slice_count = math.ceil(math.sqrt(leaf_count))
+    slice_size = math.ceil(len(pairs) / slice_count)
+    return [pairs[start : start + slice_size] for start in range(0, len(pairs), slice_size)]
+
+
+def slice_leaf_chunks(
+    chunk: list[tuple[Point, Any]], cap: int
+) -> list[tuple[list[Point], list[Any]]]:
+    """Sort one STR slice by ``(y, x)`` and cut it into leaf-sized chunks.
+
+    Returns picklable ``(points, items)`` payloads — the unit of work a
+    parallel STR build ships to worker processes.
+    """
+    ordered = sorted(chunk, key=lambda e: (e[0].y, e[0].x))
+    out: list[tuple[list[Point], list[Any]]] = []
+    for leaf_start in range(0, len(ordered), cap):
+        sub = ordered[leaf_start : leaf_start + cap]
+        out.append(([p for p, _ in sub], [item for _, item in sub]))
+    return out
 
 
 class _Node:
@@ -124,6 +159,7 @@ class RTree(SpatialIndex):
     # ----------------------------------------------------------------- insert
 
     def insert(self, location: Point, item: Any) -> None:
+        validate_location(location)
         self.version += 1
         leaf_rect = Rect.from_point(location)
         leaf = self._choose_leaf(self.root, leaf_rect)
@@ -282,29 +318,46 @@ class RTree(SpatialIndex):
     # -------------------------------------------------------------- bulk load
 
     def bulk_load(self, items: Iterable[tuple[Point, Any]]) -> None:
-        """Sort-Tile-Recursive construction; replaces the current contents."""
+        """Sort-Tile-Recursive construction; replaces the current contents.
+
+        Split into :func:`str_slices` / :func:`slice_leaf_chunks` /
+        :meth:`load_from_leaf_chunks` so the parallel bulk loader of
+        :mod:`repro.spatial.str_build` runs the identical pipeline with the
+        per-slice work farmed out to processes.
+        """
+        pairs = validate_entries(items)
+        pairs.sort(key=lambda e: (e[0].x, e[0].y))
+        chunks = (
+            payload
+            for chunk in str_slices(pairs, self.max_entries)
+            for payload in slice_leaf_chunks(chunk, self.max_entries)
+        )
+        self.load_from_leaf_chunks(chunks, len(pairs))
+
+    def make_leaf(self, points: list[Point], items: list[Any]) -> _Node:
+        """Materialize one bulk-load leaf from a picklable chunk payload."""
+        leaf = _Node(is_leaf=True)
+        leaf.points = list(points)
+        leaf.items = list(items)
+        leaf.recompute_mbr()
+        return leaf
+
+    def load_from_leaf_chunks(
+        self, chunks: Iterable[tuple[list[Point], list[Any]]], count: int
+    ) -> None:
+        """Replace the contents with pre-tiled leaves, packing levels upward.
+
+        ``chunks`` must be the output of :func:`slice_leaf_chunks` applied
+        to every slice in order — the packing is deterministic in the chunk
+        sequence, never in how the chunks were computed.
+        """
         self.version += 1
-        pairs = list(items)
-        if not pairs:
+        leaves = [self.make_leaf(points, items) for points, items in chunks]
+        if not leaves:
             self.root = _Node(is_leaf=True)
             self._count = 0
             return
         cap = self.max_entries
-        # Build leaves: sort by x, tile into vertical slices, sort each by y.
-        pairs.sort(key=lambda e: (e[0].x, e[0].y))
-        leaf_count = math.ceil(len(pairs) / cap)
-        slice_count = math.ceil(math.sqrt(leaf_count))
-        slice_size = math.ceil(len(pairs) / slice_count) if slice_count else len(pairs)
-        leaves: list[_Node] = []
-        for start in range(0, len(pairs), slice_size):
-            chunk = sorted(pairs[start : start + slice_size], key=lambda e: (e[0].y, e[0].x))
-            for leaf_start in range(0, len(chunk), cap):
-                leaf = _Node(is_leaf=True)
-                for p, item in chunk[leaf_start : leaf_start + cap]:
-                    leaf.points.append(p)
-                    leaf.items.append(item)
-                leaf.recompute_mbr()
-                leaves.append(leaf)
         # Pack levels upward until a single root remains.
         level = leaves
         while len(level) > 1:
@@ -325,7 +378,11 @@ class RTree(SpatialIndex):
                     parents.append(parent)
             level = parents
         self.root = level[0]
-        self._count = len(pairs)
+        self._count = count
+
+    def traversal_roots(self) -> list[_Node]:
+        """Best-first traversal hook (see :meth:`SpatialIndex.traversal_roots`)."""
+        return [self.root]
 
     # ----------------------------------------------------------------- delete
 

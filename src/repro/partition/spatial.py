@@ -10,6 +10,11 @@ pieces.  Two deterministic strategies:
   locally dense data) and what SANNS-style scale-out assumes.
 - ``"round-robin"`` — POIs in id order, dealt ``i % shards``; the control
   strategy with perfectly even counts and no spatial locality.
+- ``"str"`` — Sort-Tile-Recursive cells from
+  :func:`repro.spatial.str_build.str_partition_tiles`: shard boundaries
+  coincide with the R-tree bulk loader's own leaf tiling, so a shard's
+  sub-index packs exactly the leaves the monolithic tree would have
+  placed in that region.
 
 Both are pure functions of (pois, shards): the same database partitions
 identically in every process, which is what keeps the scatter–gather
@@ -23,7 +28,7 @@ from typing import Sequence
 from repro.datasets.poi import POI
 from repro.errors import ConfigurationError
 
-PARTITION_STRATEGIES = ("spatial", "round-robin")
+PARTITION_STRATEGIES = ("spatial", "round-robin", "str")
 
 
 def _split_cell(cell: list[POI]) -> tuple[list[POI], list[POI]]:
@@ -51,6 +56,19 @@ def spatial_partition(
         low, high = _split_cell(cells[index])
         cells[index : index + 1] = [low, high]
     return tuple(tuple(sorted(cell, key=lambda p: p.poi_id)) for cell in cells)
+
+
+def str_partition(
+    pois: Sequence[POI], shards: int
+) -> tuple[tuple[POI, ...], ...]:
+    """STR tiling into ``shards`` non-empty cells (see repro.spatial)."""
+    from repro.spatial.str_build import str_partition_tiles
+
+    tiles = str_partition_tiles(((p.location, p) for p in pois), shards)
+    return tuple(
+        tuple(sorted((poi for _, poi in tile), key=lambda p: p.poi_id))
+        for tile in tiles
+    )
 
 
 def round_robin_partition(
@@ -83,6 +101,8 @@ def partition_pois(
         return spatial_partition(pois, shards)
     if strategy == "round-robin":
         return round_robin_partition(pois, shards)
+    if strategy == "str":
+        return str_partition(pois, shards)
     raise ConfigurationError(
         f"unknown partition strategy {strategy!r}; "
         f"known: {list(PARTITION_STRATEGIES)}"

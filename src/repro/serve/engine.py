@@ -91,6 +91,12 @@ class ServeConfig:
     # report, and answers digest are byte-identical to every pre-control
     # release, which the pinned regression fixtures enforce.
     control: object | None = None
+    # Index substrate override for the serving replicas (one of
+    # repro.gnn.engine.INDEX_KINDS, or None to keep whatever index the
+    # LSP was built with).  Exact kinds keep the answers digest
+    # byte-identical; approximate kinds mark every answer partial with
+    # the engine's measured recall.
+    index: str | None = None
 
     def __post_init__(self) -> None:
         if self.workers < 1:
@@ -130,6 +136,19 @@ class ServeConfig:
             raise ConfigurationError(
                 "control must be a repro.serve.control.ControlConfig or None"
             )
+        if self.index is not None:
+            from repro.gnn.engine import APPROXIMATE_INDEX_KINDS, INDEX_KINDS
+
+            if self.index not in INDEX_KINDS:
+                raise ConfigurationError(
+                    f"unknown index kind {self.index!r}; known: {list(INDEX_KINDS)}"
+                )
+            if self.cluster is not None and self.index in APPROXIMATE_INDEX_KINDS:
+                # Shard merge assumes exact per-shard answers; an
+                # approximate substrate would corrupt the coverage math.
+                raise ConfigurationError(
+                    f"approximate index {self.index!r} cannot back a cluster"
+                )
 
     def runner_options(self, workload_seed: int) -> RunnerOptions:
         from dataclasses import replace
@@ -582,9 +601,14 @@ class ServeEngine:
         for slot in planned:
             buckets[slot.job.group_id % cfg.workers].append(slot.job)
         started = time.perf_counter()
+        spec = LSPSpec.from_lsp(self.lsp)
+        if cfg.index is not None:
+            from dataclasses import replace as dc_replace
+
+            spec = dc_replace(spec, index=cfg.index)
         outcomes, stats = execute_buckets(
             buckets,
-            LSPSpec.from_lsp(self.lsp),
+            spec,
             self.base_config,
             cfg.runner_options(workload.spec.seed),
             workload.groups,

@@ -31,6 +31,7 @@ from repro.datasets.poi import POI
 from repro.errors import ReproError
 from repro.geometry.space import LocationSpace
 from repro.guard.guard import ProtocolGuard
+from repro.index.base import IndexCounters
 from repro.metrics.quality import estimate_brownout_quality
 from repro.obs import MetricsRegistry, MetricsSnapshot, Observability
 from repro.partition.solver import solve_partition
@@ -58,6 +59,9 @@ class LSPSpec:
     eta: float = 0.2
     phi: float = 0.1
     sanitation_samples: int | None = None
+    #: Index substrate behind the replica's kGNN engine (see
+    #: :data:`repro.gnn.engine.INDEX_KINDS`).
+    index: str = "rtree"
 
     @classmethod
     def from_lsp(cls, lsp: LSPServer) -> "LSPSpec":
@@ -69,6 +73,7 @@ class LSPSpec:
             eta=lsp.eta,
             phi=lsp.phi,
             sanitation_samples=lsp.sanitation_samples,
+            index=getattr(lsp.engine, "index_kind", "rtree"),
         )
 
     def build(self) -> LSPServer:
@@ -80,6 +85,7 @@ class LSPSpec:
             eta=self.eta,
             phi=self.phi,
             sanitation_samples=self.sanitation_samples,
+            index=self.index,
         )
 
 
@@ -302,6 +308,13 @@ class BucketRunner:
             return replace(job, k=job.brownout_k), job.brownout_k
         return job, None
 
+    def _approximate_quality(self):
+        """The engine's measured recall, when it serves approximate answers."""
+        engine = self.lsp.engine
+        if not getattr(engine, "is_approximate", False):
+            return None
+        return getattr(engine, "recall_estimate", None)
+
     def _brownout_answer(self, job: QueryJob, answer_ids, degraded_k: int):
         """(PartialAnswer, quality) for a brownout-degraded answer."""
         from repro.cluster.merge import PartialAnswer
@@ -347,7 +360,8 @@ class BucketRunner:
                 error=str(exc),
                 degraded_k=degraded_k,
             )
-        if degraded_k is None:
+        approx = self._approximate_quality()
+        if degraded_k is None and approx is None:
             return JobOutcome(
                 job_id=job.job_id,
                 tenant=job.tenant,
@@ -357,8 +371,35 @@ class BucketRunner:
                 answer_ids=result.answer_ids,
                 comm_bytes=result.report.total_comm_bytes,
             )
-        partial_answer, quality = self._brownout_answer(
-            job, result.answer_ids, degraded_k
+        from repro.cluster.merge import PartialAnswer
+
+        if degraded_k is None:
+            # Approximate-index answer at full k: exact within the candidate
+            # set, marked partial with the engine's measured recall so it
+            # can never masquerade (or digest) as an exact answer.
+            quality = approx
+        else:
+            quality = estimate_brownout_quality(job.k, degraded_k)
+            if approx is not None:
+                # Brownout and approximate recall are independent
+                # degradations (which k positions vs. which candidates),
+                # so they compose multiplicatively — same rule as the
+                # brownout-on-shard-partial case in the cluster path.
+                from repro.metrics.quality import PartialAnswerQuality
+
+                quality = PartialAnswerQuality(
+                    coverage=quality.coverage * approx.coverage,
+                    expected_recall=quality.expected_recall
+                    * approx.expected_recall,
+                    guaranteed_recall=quality.guaranteed_recall
+                    * approx.guaranteed_recall,
+                )
+        partial_answer = PartialAnswer(
+            answer_ids=result.answer_ids,
+            covered_shards=(),
+            lost_shards=(),
+            coverage=quality.coverage,
+            quality=quality,
         )
         return JobOutcome(
             job_id=job.job_id,
@@ -466,6 +507,17 @@ class BucketRunner:
             self.obs.count("serve.cache.hits", stats.cache.hits)
             self.obs.count("serve.cache.misses", stats.cache.misses)
             self.obs.count("serve.pool.pooled", stats.pool.pooled)
+            index_totals = IndexCounters()
+            engines = [self.lsp.engine]
+            if self._cluster is not None:
+                engines.extend(s.engine for s in self._cluster.shard_lsps)
+            for engine in engines:
+                counters = getattr(engine, "index_counters", None)
+                if counters is not None:
+                    index_totals.merge(counters)
+            self.obs.count("index.queries", index_totals.queries)
+            self.obs.count("index.nodes_visited", index_totals.nodes_visited)
+            self.obs.count("index.candidates_scored", index_totals.candidates_scored)
             stats.metrics = self.obs.snapshot()
             stats.spans = (
                 tuple(span.to_dict() for span in self.obs.tracer.spans()),

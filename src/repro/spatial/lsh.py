@@ -1,0 +1,178 @@
+"""Seeded p-stable LSH bucket index for sub-linear candidate generation.
+
+Each of ``tables`` hash tables keys a point by ``hashes`` quantized
+Gaussian projections ``floor((p @ a_j + b_j) / w)`` — the classic
+Datar-Indyk p-stable scheme for Euclidean distance.  Nearby points agree
+on whole keys with high probability, so the union of the query's buckets
+across tables is a small candidate set that still contains most true
+neighbors.
+
+``bucket_width`` (``w``) trades candidate-set size against recall; when
+left ``None`` it defaults to four times the expected nearest-neighbor
+spacing of the loaded data (``4 * sqrt(area / n)``), which keeps the
+per-table bucket occupancy roughly constant as ``n`` scales.
+``probes > 0`` adds multiprobe: the perturbed keys one quantum away in the
+dimensions where the query sits closest to a bucket boundary are also
+inspected, buying recall without more tables.
+
+The index is exact for :meth:`range_query` (linear scan — LSH buckets
+cannot support rectangles) and deliberately has **no** ``nearest``
+override: its value is :meth:`candidate_entries`, consumed by the
+engine's approximate path which always attaches a measured recall
+estimate.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Any, Iterable, Iterator
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+from repro.geometry.point import Point
+from repro.geometry.rect import Rect
+from repro.index.base import SpatialIndex, validate_entries, validate_location
+
+_DEFAULT_WIDTH_FACTOR = 4.0
+
+
+class LSHIndex(SpatialIndex):
+    """Euclidean LSH over 2-d points: ``tables`` x ``hashes`` projections."""
+
+    def __init__(
+        self,
+        tables: int = 6,
+        hashes: int = 2,
+        bucket_width: float | None = None,
+        seed: int = 0,
+        probes: int = 2,
+    ) -> None:
+        if tables < 1:
+            raise ConfigurationError("tables must be >= 1")
+        if hashes < 1:
+            raise ConfigurationError("hashes must be >= 1")
+        if bucket_width is not None and not bucket_width > 0.0:
+            raise ConfigurationError("bucket_width must be positive")
+        if probes < 0:
+            raise ConfigurationError("probes must be >= 0")
+        self.tables = tables
+        self.hashes = hashes
+        self.bucket_width = bucket_width
+        self.seed = seed
+        self.probes = probes
+        rng = np.random.default_rng(seed)
+        # One (hashes x 2) Gaussian projection matrix and one offset vector
+        # per table, drawn once at construction so the hash family is fixed
+        # for the index's lifetime regardless of when data arrives.
+        self._projections = rng.standard_normal((tables, hashes, 2))
+        self._offsets = rng.uniform(0.0, 1.0, size=(tables, hashes))
+        self._width = bucket_width
+        self._buckets: list[dict[tuple[int, ...], list[int]]] = [
+            {} for _ in range(tables)
+        ]
+        self._entries: list[tuple[Point, Any]] = []
+        self.version = 0
+
+    # ----------------------------------------------------------------- hashing
+
+    def _effective_width(self) -> float:
+        if self._width is not None:
+            return self._width
+        # Derive from the loaded data: ~4x the expected NN spacing.
+        n = len(self._entries)
+        if n < 2:
+            return 1.0
+        mbr = Rect.from_points([p for p, _ in self._entries])
+        area = max(mbr.width * mbr.height, 1e-12)
+        return _DEFAULT_WIDTH_FACTOR * math.sqrt(area / n)
+
+    def _raw(self, table: int, p: Point) -> np.ndarray:
+        """Unquantized hash coordinates of ``p`` in ``table``."""
+        w = self._effective_width()
+        proj = self._projections[table] @ np.array([p.x, p.y])
+        return (proj / w) + self._offsets[table]
+
+    def _key(self, table: int, p: Point) -> tuple[int, ...]:
+        return tuple(int(v) for v in np.floor(self._raw(table, p)))
+
+    def _probe_keys(self, table: int, p: Point) -> list[tuple[int, ...]]:
+        """The home key plus up to ``probes`` single-step perturbations.
+
+        Perturbations flip one hash coordinate by +/-1, ranked by the
+        query's distance to that bucket boundary — the closer the boundary,
+        the likelier a true neighbor fell just across it.
+        """
+        raw = self._raw(table, p)
+        home = tuple(int(v) for v in np.floor(raw))
+        keys = [home]
+        if self.probes == 0:
+            return keys
+        frac = raw - np.floor(raw)
+        cands: list[tuple[float, tuple[int, ...]]] = []
+        for j in range(self.hashes):
+            up = list(home)
+            up[j] += 1
+            cands.append((1.0 - float(frac[j]), tuple(up)))
+            down = list(home)
+            down[j] -= 1
+            cands.append((float(frac[j]), tuple(down)))
+        cands.sort(key=lambda c: c[0])
+        keys.extend(key for _, key in cands[: self.probes])
+        return keys
+
+    # ------------------------------------------------------------------ loading
+
+    def _index_entry(self, eid: int) -> None:
+        p = self._entries[eid][0]
+        for t in range(self.tables):
+            self._buckets[t].setdefault(self._key(t, p), []).append(eid)
+
+    def insert(self, location: Point, item: Any) -> None:
+        validate_location(location)
+        self.version += 1
+        if self._width is None and self._entries:
+            # Auto width is frozen by whatever data was present at first
+            # hash time; pin it so late inserts can't shift old buckets.
+            self._width = self._effective_width()
+        self._entries.append((location, item))
+        self._index_entry(len(self._entries) - 1)
+
+    def bulk_load(self, items: Iterable[tuple[Point, Any]]) -> None:
+        pairs = validate_entries(items)
+        self.version += 1
+        self._entries = pairs
+        self._width = self.bucket_width  # auto width re-derives from new data
+        self._buckets = [{} for _ in range(self.tables)]
+        if pairs:
+            self._width = self._effective_width()
+            for eid in range(len(pairs)):
+                self._index_entry(eid)
+
+    # ------------------------------------------------------------------ queries
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def entries(self) -> Iterator[tuple[Point, Any]]:
+        return iter(self._entries)
+
+    def range_query(self, rect: Rect) -> list[tuple[Point, Any]]:
+        """Exact linear scan — buckets cannot express rectangles."""
+        return [(p, item) for p, item in self._entries if rect.contains_point(p)]
+
+    def candidate_entries(self, query: Point) -> list[tuple[Point, Any]]:
+        """Union of the query's (multiprobed) buckets across all tables.
+
+        Deduplicated by entry id, preserving first-seen order so the
+        candidate list is deterministic in ``(data, seed, query)``.
+        """
+        seen: set[int] = set()
+        out: list[tuple[Point, Any]] = []
+        for t in range(self.tables):
+            for key in self._probe_keys(t, query):
+                for eid in self._buckets[t].get(key, ()):
+                    if eid not in seen:
+                        seen.add(eid)
+                        out.append(self._entries[eid])
+        return out

@@ -1,0 +1,90 @@
+"""Tests for the streaming million-POI generators."""
+
+import pytest
+
+from repro.datasets import (
+    POI_STREAM_KINDS,
+    stream_clustered,
+    stream_geo_skewed,
+    stream_pois,
+    stream_uniform,
+)
+from repro.errors import ConfigurationError
+from repro.geometry.rect import Rect
+from repro.geometry.space import LocationSpace
+
+STREAMS = {
+    "uniform": stream_uniform,
+    "clustered": stream_clustered,
+    "geo-skew": stream_geo_skewed,
+}
+
+
+@pytest.mark.parametrize("kind", POI_STREAM_KINDS)
+class TestEveryKind:
+    def test_count_and_ids(self, kind):
+        pois = list(stream_pois(kind, 500, seed=1))
+        assert len(pois) == 500
+        assert [p.poi_id for p in pois] == list(range(500))
+
+    def test_chunk_size_invariance(self, kind):
+        """POI i is identical no matter how the stream is chunked."""
+        fn = STREAMS[kind]
+        small = list(fn(333, seed=9, chunk_size=100))
+        large = list(fn(333, seed=9, chunk_size=10_000))
+        assert [(p.poi_id, p.location) for p in small] == [
+            (p.poi_id, p.location) for p in large
+        ]
+
+    def test_deterministic_in_seed(self, kind):
+        fn = STREAMS[kind]
+        a = [p.location for p in fn(200, seed=4)]
+        b = [p.location for p in fn(200, seed=4)]
+        c = [p.location for p in fn(200, seed=5)]
+        assert a == b
+        assert a != c
+
+    def test_bounds_respected(self, kind):
+        space = LocationSpace(Rect(10.0, -5.0, 20.0, 5.0))
+        pois = list(stream_pois(kind, 400, space=space, seed=2))
+        assert all(space.bounds.contains_point(p.location) for p in pois)
+
+    def test_zero_count(self, kind):
+        assert list(stream_pois(kind, 0, seed=1)) == []
+
+
+class TestValidation:
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(ConfigurationError):
+            list(stream_pois("gaussian", 10))
+
+    def test_negative_count_rejected(self):
+        with pytest.raises(ConfigurationError):
+            list(stream_uniform(-1))
+
+    def test_bad_chunk_size_rejected(self):
+        with pytest.raises(ConfigurationError):
+            list(stream_uniform(10, chunk_size=0))
+
+
+class TestShapes:
+    def test_clustered_is_denser_than_uniform(self):
+        """Clustered data concentrates: the densest small cell holds far
+        more points than the uniform expectation."""
+        space = LocationSpace.unit_square()
+        pois = list(stream_clustered(4_000, space=space, seed=3))
+        g = 10
+        counts: dict[tuple[int, int], int] = {}
+        for p in pois:
+            cell = (int(p.location.x * g) % g, int(p.location.y * g) % g)
+            counts[cell] = counts.get(cell, 0) + 1
+        assert max(counts.values()) > 3 * (4_000 / (g * g))
+
+    def test_streaming_is_lazy(self):
+        """Taking a prefix must not materialize the remaining chunks."""
+        from itertools import islice
+
+        stream = stream_uniform(10_000_000, seed=1, chunk_size=1_000)
+        head = list(islice(stream, 5))
+        assert len(head) == 5
+        assert [p.poi_id for p in head] == [0, 1, 2, 3, 4]

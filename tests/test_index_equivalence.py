@@ -1,0 +1,144 @@
+"""Hypothesis cross-index equivalence: every exact index answers alike.
+
+Random point sets and random range / kNN queries must produce identical
+results across brute force, grid, k-d tree, R-tree, and the spill-free
+partition trees.  Range results are compared as id sets (order is index
+specific); kNN results are compared as distance multisets, which is the
+strongest property that survives equal-distance ties.  The approximate
+paths (spill > 0, LSH) are held to a recall floor instead.
+"""
+
+import math
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.geometry.point import Point
+from repro.geometry.rect import Rect
+from repro.geometry.space import LocationSpace
+from repro.gnn.knn import best_first_knn
+from repro.index.bruteforce import BruteForceIndex
+from repro.index.grid import GridIndex
+from repro.index.kdtree import KDTree
+from repro.index.rtree import RTree
+from repro.spatial import LSHIndex, PartitionTree
+
+SPACE = LocationSpace.unit_square()
+
+coord = st.floats(min_value=0.0, max_value=1.0, allow_nan=False, width=32)
+points = st.lists(
+    st.tuples(coord, coord), min_size=1, max_size=60, unique=True
+)
+
+
+def _exact_indexes():
+    """One instance of every exact index kind, freshly constructed."""
+    return {
+        "bruteforce": BruteForceIndex(),
+        "grid": GridIndex(SPACE, 5),
+        "kdtree": KDTree(),
+        "rtree": RTree(max_entries=4),
+        "parttree-kd": PartitionTree(rule="kd", spill=0.0, leaf_capacity=4),
+        "parttree-rp": PartitionTree(rule="rp", spill=0.0, leaf_capacity=4, seed=2),
+        "parttree-2means": PartitionTree(
+            rule="2-means", spill=0.0, leaf_capacity=4, seed=2
+        ),
+    }
+
+
+def _load_all(raw):
+    entries = [(Point(x, y), i) for i, (x, y) in enumerate(raw)]
+    indexes = _exact_indexes()
+    for index in indexes.values():
+        index.bulk_load(entries)
+    return entries, indexes
+
+
+@given(raw=points, q=st.tuples(coord, coord), k=st.integers(1, 10))
+@settings(max_examples=40, deadline=None)
+def test_knn_distance_multisets_agree(raw, q, k):
+    _, indexes = _load_all(raw)
+    query = Point(*q)
+    reference = None
+    for name, index in indexes.items():
+        dists = sorted(
+            round(p.distance_to(query), 9)
+            for p, _ in best_first_knn(index, query, k)
+        )
+        if reference is None:
+            reference = dists
+        else:
+            assert dists == reference, f"{name} disagreed on kNN distances"
+
+
+@given(
+    raw=points,
+    box=st.tuples(coord, coord, coord, coord),
+)
+@settings(max_examples=40, deadline=None)
+def test_range_id_sets_agree(raw, box):
+    _, indexes = _load_all(raw)
+    x1, x2 = sorted(box[:2])
+    y1, y2 = sorted(box[2:])
+    rect = Rect(x1, y1, x2, y2)
+    reference = None
+    for name, index in indexes.items():
+        ids = {item for _, item in index.range_query(rect)}
+        if reference is None:
+            reference = ids
+        else:
+            assert ids == reference, f"{name} disagreed on range ids"
+
+
+@given(raw=points)
+@settings(max_examples=25, deadline=None)
+def test_native_nearest_matches_generic_knn(raw):
+    """Indexes with their own nearest() must agree with best_first_knn."""
+    entries = [(Point(x, y), i) for i, (x, y) in enumerate(raw)]
+    query = Point(0.5, 0.5)
+    k = min(5, len(entries))
+    for index in (
+        PartitionTree(rule="kd", leaf_capacity=4),
+        KDTree(),
+        BruteForceIndex(),
+    ):
+        index.bulk_load(entries)
+        native = sorted(
+            round(p.distance_to(query), 9) for p, _ in index.nearest(query, k)
+        )
+        generic = sorted(
+            round(p.distance_to(query), 9)
+            for p, _ in best_first_knn(index, query, k)
+        )
+        assert native == generic
+
+
+@pytest.mark.parametrize(
+    "make",
+    [
+        lambda: PartitionTree(rule="rp", spill=0.25, leaf_capacity=32, seed=7),
+        lambda: LSHIndex(seed=7),
+    ],
+    ids=["spill", "lsh"],
+)
+def test_approximate_recall_meets_floor(make):
+    """Seeded recall of the approximate candidate generators stays >= 0.6."""
+    from repro.datasets import stream_clustered
+
+    entries = [(p.location, p) for p in stream_clustered(2_500, seed=13)]
+    index = make()
+    index.bulk_load(entries)
+    oracle = BruteForceIndex()
+    oracle.bulk_load(entries)
+    queries = [
+        Point((0.37 * i) % 1.0, (0.59 * i) % 1.0) for i in range(1, 25)
+    ]
+    total = 0.0
+    for q in queries:
+        want = {i.poi_id for _, i in oracle.nearest(q, 8)}
+        got = {i.poi_id for _, i in index.candidate_entries(q)}
+        total += len(want & got) / 8
+    recall = total / len(queries)
+    assert recall >= 0.6, f"recall {recall:.2f} below floor"
+    assert math.isfinite(recall)

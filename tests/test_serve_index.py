@@ -1,0 +1,121 @@
+"""Serving over every index substrate: digest identity and recall marking."""
+
+import numpy as np
+import pytest
+
+from repro.core.config import PPGNNConfig
+from repro.core.lsp import LSPServer
+from repro.datasets.synthetic import uniform_pois
+from repro.errors import ConfigurationError
+from repro.geometry.space import LocationSpace
+from repro.gnn.engine import APPROXIMATE_INDEX_KINDS
+from repro.serve import ServeConfig, ServeEngine, WorkloadSpec, generate_workload
+
+SAMPLES = 8
+
+
+@pytest.fixture(scope="module")
+def space():
+    """Unit-square location space shared by every serve-index test."""
+    return LocationSpace.unit_square()
+
+
+@pytest.fixture(scope="module")
+def pois(space):
+    """Small shared POI set (engine builds are per-test, POIs are not)."""
+    return uniform_pois(150, space, np.random.default_rng(11))
+
+
+@pytest.fixture(scope="module")
+def config():
+    return PPGNNConfig(d=4, delta=8, k=3, keysize=128, sanitation_samples=SAMPLES)
+
+
+@pytest.fixture(scope="module")
+def workload(space):
+    spec = WorkloadSpec(
+        queries=6,
+        rate_qps=20.0,
+        protocol_mix={"ppgnn": 1.0},
+        group_size_mix={2: 1.0, 3: 1.0},
+        k_mix={3: 1.0},
+        groups=3,
+        seed=17,
+    )
+    return generate_workload(spec, space)
+
+
+def _report(pois, space, config, workload, index):
+    lsp = LSPServer(pois, space=space, sanitation_samples=SAMPLES)
+    engine = ServeEngine(
+        lsp,
+        config,
+        ServeConfig(workers=1, nonce_pool=False, knn_cache_size=None, index=index),
+    )
+    return engine.run(workload)
+
+
+class TestExactDigestIdentity:
+    @pytest.mark.parametrize("kind", ["kdtree", "grid", "bruteforce"])
+    def test_exact_kind_matches_rtree_digest(
+        self, kind, pois, space, config, workload
+    ):
+        reference = _report(pois, space, config, workload, "rtree")
+        got = _report(pois, space, config, workload, kind)
+        assert got.answers_digest == reference.answers_digest
+        assert all(o.ok for o in got.outcomes.values())
+
+
+class TestApproximateServing:
+    @pytest.mark.parametrize("kind", sorted(APPROXIMATE_INDEX_KINDS))
+    def test_approximate_answers_marked_partial(
+        self, kind, pois, space, config, workload
+    ):
+        report = _report(pois, space, config, workload, kind)
+        for outcome in report.outcomes.values():
+            assert outcome.ok
+            assert outcome.partial, f"{kind} answers must be marked partial"
+            assert outcome.partial_answer is not None
+            quality = outcome.partial_answer.quality
+            assert quality is not None
+            assert 0.0 < quality.expected_recall <= 1.0
+            assert quality.guaranteed_recall == 0.0
+
+
+class TestConfigValidation:
+    def test_unknown_index_rejected(self):
+        with pytest.raises(ConfigurationError):
+            ServeConfig(index="quadtree")
+
+    def test_approximate_with_cluster_rejected(self):
+        from repro.cluster import ClusterConfig
+
+        with pytest.raises(ConfigurationError):
+            ServeConfig(index="lsh", cluster=ClusterConfig(shards=2))
+
+    def test_exact_with_cluster_allowed(self):
+        from repro.cluster import ClusterConfig
+
+        cfg = ServeConfig(index="kdtree", cluster=ClusterConfig(shards=2))
+        assert cfg.index == "kdtree"
+
+
+class TestIndexMetrics:
+    def test_index_counters_published(self, pois, space, config, workload):
+        lsp = LSPServer(pois, space=space, sanitation_samples=SAMPLES)
+        engine = ServeEngine(
+            lsp,
+            config,
+            ServeConfig(
+                workers=1,
+                nonce_pool=False,
+                knn_cache_size=None,
+                index="rtree",
+                obs=True,
+            ),
+        )
+        report = engine.run(workload)
+        counters = report.obs["metrics"]["counters"]
+        assert counters.get("index.queries", 0) > 0
+        assert counters.get("index.candidates_scored", 0) > 0
+        assert "index.nodes_visited" in counters

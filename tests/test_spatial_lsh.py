@@ -1,0 +1,141 @@
+"""Tests for the seeded LSH candidate generator."""
+
+import pytest
+
+from repro.datasets import stream_clustered
+from repro.errors import ConfigurationError
+from repro.geometry.point import Point
+from repro.geometry.rect import Rect
+from repro.index.bruteforce import BruteForceIndex
+from repro.spatial import LSHIndex
+
+
+def _entries(count, seed=4):
+    return [(poi.location, poi) for poi in stream_clustered(count, seed=seed)]
+
+
+class TestConstruction:
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            LSHIndex(tables=0)
+        with pytest.raises(ConfigurationError):
+            LSHIndex(hashes=0)
+        with pytest.raises(ConfigurationError):
+            LSHIndex(bucket_width=0.0)
+        with pytest.raises(ConfigurationError):
+            LSHIndex(probes=-1)
+
+    def test_deterministic_in_seed(self):
+        entries = _entries(500)
+        q = Point(0.4, 0.6)
+        a = LSHIndex(seed=3)
+        a.bulk_load(entries)
+        b = LSHIndex(seed=3)
+        b.bulk_load(entries)
+        assert [i.poi_id for _, i in a.candidate_entries(q)] == [
+            i.poi_id for _, i in b.candidate_entries(q)
+        ]
+
+    def test_different_seeds_differ(self):
+        entries = _entries(500)
+        q = Point(0.4, 0.6)
+        a = LSHIndex(seed=3)
+        a.bulk_load(entries)
+        b = LSHIndex(seed=4)
+        b.bulk_load(entries)
+        assert [i.poi_id for _, i in a.candidate_entries(q)] != [
+            i.poi_id for _, i in b.candidate_entries(q)
+        ]
+
+
+class TestCandidates:
+    def test_candidates_are_a_strict_subset(self):
+        entries = _entries(4_000)
+        index = LSHIndex(seed=1)
+        index.bulk_load(entries)
+        cands = index.candidate_entries(Point(0.5, 0.5))
+        ids = [i.poi_id for _, i in cands]
+        assert 0 < len(ids) < len(entries)
+        assert len(ids) == len(set(ids)), "candidates must be deduplicated"
+
+    def test_recall_at_k_reasonable(self):
+        entries = _entries(3_000)
+        index = LSHIndex(seed=1)
+        index.bulk_load(entries)
+        oracle = BruteForceIndex()
+        oracle.bulk_load(entries)
+        total = 0.0
+        queries = [Point(0.1 * i % 1.0, 0.07 * i % 1.0) for i in range(1, 21)]
+        for q in queries:
+            want = {i.poi_id for _, i in oracle.nearest(q, 8)}
+            got = {i.poi_id for _, i in index.candidate_entries(q)}
+            total += len(want & got) / 8
+        assert total / len(queries) >= 0.6
+
+    def test_more_probes_never_lose_candidates(self):
+        entries = _entries(1_000)
+        narrow = LSHIndex(seed=2, probes=0)
+        narrow.bulk_load(entries)
+        wide = LSHIndex(seed=2, probes=3)
+        wide.bulk_load(entries)
+        q = Point(0.37, 0.73)
+        narrow_ids = {i.poi_id for _, i in narrow.candidate_entries(q)}
+        wide_ids = {i.poi_id for _, i in wide.candidate_entries(q)}
+        assert narrow_ids <= wide_ids
+
+
+class TestExactOperations:
+    def test_range_query_is_exact(self):
+        entries = _entries(800)
+        index = LSHIndex(seed=1)
+        index.bulk_load(entries)
+        rect = Rect(0.25, 0.25, 0.75, 0.75)
+        got = sorted(i.poi_id for _, i in index.range_query(rect))
+        want = sorted(i.poi_id for p, i in entries if rect.contains_point(p))
+        assert got == want
+
+    def test_generic_knn_fallback_is_exact(self):
+        # LSH has no nearest() of its own; best_first_knn must fall back to
+        # the exhaustive scan and stay exact.
+        from repro.gnn.knn import best_first_knn
+
+        entries = _entries(800)
+        index = LSHIndex(seed=1)
+        index.bulk_load(entries)
+        oracle = BruteForceIndex()
+        oracle.bulk_load(entries)
+        q = Point(0.61, 0.13)
+        assert [i.poi_id for _, i in best_first_knn(index, q, 10)] == [
+            i.poi_id for _, i in oracle.nearest(q, 10)
+        ]
+
+    def test_traversal_roots_absent(self):
+        index = LSHIndex(seed=1)
+        index.bulk_load(_entries(50))
+        assert index.traversal_roots() is None
+
+
+class TestInsertConsistency:
+    def test_insert_matches_bulk_on_fixed_width(self):
+        entries = _entries(300)
+        bulk = LSHIndex(seed=6, bucket_width=0.1)
+        bulk.bulk_load(entries)
+        incremental = LSHIndex(seed=6, bucket_width=0.1)
+        for p, item in entries:
+            incremental.insert(p, item)
+        q = Point(0.5, 0.5)
+        assert sorted(i.poi_id for _, i in bulk.candidate_entries(q)) == sorted(
+            i.poi_id for _, i in incremental.candidate_entries(q)
+        )
+        assert len(bulk) == len(incremental) == len(entries)
+
+    def test_auto_width_pinned_by_first_insert(self):
+        index = LSHIndex(seed=6)
+        index.insert(Point(0.1, 0.1), "a")
+        index.insert(Point(0.9, 0.9), "b")
+        assert len(index) == 2
+        # Both entries remain findable through the exact paths.
+        assert {i for _, i in index.range_query(Rect(0.0, 0.0, 1.0, 1.0))} == {
+            "a",
+            "b",
+        }

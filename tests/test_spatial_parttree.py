@@ -1,0 +1,139 @@
+"""Tests for the kd / rp / 2-means spill partition trees."""
+
+import pytest
+
+from repro.datasets import stream_clustered
+from repro.errors import ConfigurationError
+from repro.geometry.point import Point
+from repro.geometry.rect import Rect
+from repro.index.bruteforce import BruteForceIndex
+from repro.spatial import SPLIT_RULES, PartitionTree
+
+
+def _entries(count, seed=3):
+    return [(poi.location, poi) for poi in stream_clustered(count, seed=seed)]
+
+
+def _oracle(entries):
+    bf = BruteForceIndex()
+    for p, item in entries:
+        bf.insert(p, item)
+    return bf
+
+
+class TestConstruction:
+    def test_unknown_rule_rejected(self):
+        with pytest.raises(ConfigurationError):
+            PartitionTree(rule="pca")
+
+    def test_bad_spill_rejected(self):
+        with pytest.raises(ConfigurationError):
+            PartitionTree(spill=0.5)
+        with pytest.raises(ConfigurationError):
+            PartitionTree(spill=-0.1)
+
+    def test_deterministic_in_seed(self):
+        entries = _entries(400)
+        a = PartitionTree(rule="rp", seed=11)
+        a.bulk_load(entries)
+        b = PartitionTree(rule="rp", seed=11)
+        b.bulk_load(entries)
+        q = Point(0.3, 0.7)
+        assert [i.poi_id for _, i in a.candidate_entries(q)] == [
+            i.poi_id for _, i in b.candidate_entries(q)
+        ]
+
+    def test_identical_points_terminate(self):
+        entries = [(Point(0.5, 0.5), i) for i in range(200)]
+        tree = PartitionTree(rule="kd", spill=0.4, leaf_capacity=8)
+        tree.bulk_load(entries)
+        assert len(tree) == 200
+        assert len(tree.nearest(Point(0.5, 0.5), 200)) == 200
+
+
+@pytest.mark.parametrize("rule", SPLIT_RULES)
+@pytest.mark.parametrize("spill", [0.0, 0.25])
+class TestExactness:
+    def test_nearest_matches_oracle(self, rule, spill):
+        entries = _entries(500)
+        tree = PartitionTree(rule=rule, spill=spill, leaf_capacity=16, seed=5)
+        tree.bulk_load(entries)
+        oracle = _oracle(entries)
+        for q in (Point(0.1, 0.9), Point(0.5, 0.5), Point(0.99, 0.01)):
+            got = [i.poi_id for _, i in tree.nearest(q, 12)]
+            want = [i.poi_id for _, i in oracle.nearest(q, 12)]
+            assert got == want
+
+    def test_range_matches_oracle(self, rule, spill):
+        entries = _entries(500)
+        tree = PartitionTree(rule=rule, spill=spill, leaf_capacity=16, seed=5)
+        tree.bulk_load(entries)
+        oracle = _oracle(entries)
+        rect = Rect(0.2, 0.3, 0.7, 0.8)
+        got = sorted(i.poi_id for _, i in tree.range_query(rect))
+        want = sorted(i.poi_id for _, i in oracle.range_query(rect))
+        assert got == want
+
+    def test_no_duplicates_despite_spill(self, rule, spill):
+        entries = _entries(300)
+        tree = PartitionTree(rule=rule, spill=spill, leaf_capacity=8, seed=5)
+        tree.bulk_load(entries)
+        ids = [i.poi_id for _, i in tree.nearest(Point(0.4, 0.6), 300)]
+        assert len(ids) == len(set(ids)) == 300
+
+
+class TestApproximatePath:
+    def test_candidates_sublinear(self):
+        entries = _entries(4_000)
+        tree = PartitionTree(rule="rp", spill=0.25, leaf_capacity=32, seed=5)
+        tree.bulk_load(entries)
+        cands = tree.candidate_entries(Point(0.4, 0.6))
+        assert 0 < len(cands) < len(entries) // 4
+
+    def test_spill_improves_recall_on_average(self):
+        entries = _entries(3_000)
+        import numpy as np
+
+        rng = np.random.default_rng(9)
+        oracle = _oracle(entries)
+        recalls = {}
+        for spill in (0.0, 0.3):
+            tree = PartitionTree(rule="rp", spill=spill, leaf_capacity=32, seed=5)
+            tree.bulk_load(entries)
+            total = 0.0
+            queries = [
+                Point(float(rng.uniform()), float(rng.uniform())) for _ in range(30)
+            ]
+            for q in queries:
+                want = {i.poi_id for _, i in oracle.nearest(q, 8)}
+                got = {i.poi_id for _, i in tree.candidate_entries(q)}
+                total += len(want & got) / 8
+            recalls[spill] = total / 30
+        assert recalls[0.3] >= recalls[0.0]
+
+    def test_traversal_hook_gated_on_spill_and_overflow(self):
+        entries = _entries(200)
+        plain = PartitionTree(rule="kd", spill=0.0, leaf_capacity=16)
+        plain.bulk_load(entries)
+        assert plain.traversal_roots() is not None
+        spilled = PartitionTree(rule="kd", spill=0.2, leaf_capacity=16)
+        spilled.bulk_load(entries)
+        assert spilled.traversal_roots() is None
+        plain.insert(Point(0.5, 0.5), object())
+        assert plain.traversal_roots() is None
+
+    def test_overflow_inserts_visible_everywhere(self):
+        entries = _entries(100)
+        tree = PartitionTree(rule="kd", leaf_capacity=16)
+        tree.bulk_load(entries)
+        marker = object()
+        tree.insert(Point(0.42, 0.42), marker)
+        assert len(tree) == 101
+        assert any(
+            item is marker for _, item in tree.candidate_entries(Point(0.42, 0.42))
+        )
+        assert any(item is marker for _, item in tree.nearest(Point(0.42, 0.42), 1))
+        assert any(
+            item is marker
+            for _, item in tree.range_query(Rect(0.4, 0.4, 0.45, 0.45))
+        )
