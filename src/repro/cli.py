@@ -317,6 +317,12 @@ def build_parser() -> argparse.ArgumentParser:
         help="baseline store location",
     )
     perf.add_argument(
+        "--suite", choices=("protocols", "crypto"), default="protocols",
+        help="'protocols': end-to-end protocol workloads; 'crypto': the "
+        "Paillier hot-path micro-suite at --keysize (baseline "
+        "'crypto-<keysize>')",
+    )
+    perf.add_argument(
         "--protocols", nargs="+", default=list(_PERF_PROTOCOLS),
         choices=list(_PERF_PROTOCOLS), metavar="PROTOCOL",
         help="protocols to exercise (default: all three)",
@@ -753,6 +759,135 @@ def _perf_metrics(protocol: str, args: argparse.Namespace) -> dict[str, float]:
     }
 
 
+def _crypto_micro_metrics(args: argparse.Namespace) -> dict[str, float]:
+    """The Paillier hot-path micro-suite at one keysize.
+
+    Runs a pinned mix of encryptions, pooled encryptions, rerandomizations,
+    a homomorphic dot product, pool refills (windowed and CRT-split), and
+    both decryption paths through profiled keys under the ambient fast-path
+    setting (``REPRO_FASTEXP``); then replays the identical mix with the
+    *opposite* setting and insists every produced ciphertext value matches
+    — the digest the sentinel freezes is therefore provably independent of
+    the fast paths.  The ``ops.*`` counters are exact big-integer
+    multiplication ledgers per op class, window tables included
+    (zero-tolerance, lower is better), so any accidental cost regression
+    in the crypto hot path fails the gate — and recording with
+    ``REPRO_FASTEXP=0`` then checking with the default demonstrates the
+    fast paths strictly lowering them.  CRT-split refills halve the
+    *width* of each multiplication rather than the count, so they gate on
+    limb-weighted work (``mul_work64``) instead of raw muls.
+    """
+    import hashlib
+    import random
+    import time as time_module
+
+    from repro.crypto import fastexp
+    from repro.crypto.homomorphic import hom_dot
+    from repro.crypto.noncepool import (
+        NoncePool,
+        decrypt_packed,
+        encrypt_packed,
+        encrypt_with_pool,
+    )
+    from repro.crypto.paillier import generate_keypair
+    from repro.obs.profile import profile_keypair
+
+    packed_fields = [3, 1, 4, 1, 5, 9, 2, 6]
+
+    def run(fast: bool):
+        with fastexp.forced(fast):
+            keys, profiler = profile_keypair(
+                generate_keypair(args.keysize, seed=args.seed)
+            )
+            pk, sk = keys.public_key, keys.secret_key
+            rng = random.Random(args.seed * 7919 + args.keysize)
+            values: list[int] = []
+
+            ciphertexts = [pk.encrypt(m, rng=rng) for m in range(8)]
+            values += [c.value for c in ciphertexts]
+            rerandomized = [pk.rerandomize(c, rng) for c in ciphertexts[:4]]
+            values += [c.value for c in rerandomized]
+
+            # Public pool: refills run the windowed fixed-exponent program.
+            pool = NoncePool(pk)
+            pool.refill(8, rng=random.Random(args.seed + 1))
+            from_pool = [encrypt_with_pool(pool, m) for m in range(8)]
+            values += [c.value for c in from_pool]
+
+            # Key-owner pool: refills run the CRT half-width path; the
+            # packed encryption spends one factor for all eight fields.
+            owner_pool = NoncePool(pk, sk)
+            owner_pool.refill(4, rng=random.Random(args.seed + 2))
+            packed = encrypt_packed(owner_pool, packed_fields, 8)
+            values.append(packed.value)
+            if decrypt_packed(sk, packed, 8, len(packed_fields)) != packed_fields:
+                raise ReproError("packed encryption round trip failed")
+
+            # Full-width scalars, as in the answer-matrix selection.
+            scalars = [rng.randrange(1, pk.n) for _ in range(16)]
+            dot_ledger = fastexp.MulLedger()
+            dot = hom_dot(scalars, ciphertexts * 2, ledger=dot_ledger)
+            values.append(dot.value)
+
+            for c in ciphertexts:
+                sk.decrypt_with_path(c, use_crt=True)
+            for c in from_pool[:2]:
+                sk.decrypt_with_path(c, use_crt=False)
+            if [sk.decrypt(c) for c in rerandomized] != [0, 1, 2, 3]:
+                raise ReproError("rerandomized ciphertexts decrypted wrongly")
+
+            return (
+                values,
+                profiler,
+                dot_ledger.muls,
+                pool.stats.fast_muls,
+                owner_pool.stats.fast_muls,
+            )
+
+    ambient = fastexp.enabled()
+    started = time_module.perf_counter()
+    values, profiler, dot_muls, windowed_muls, crt_muls = run(ambient)
+    suite_seconds = time_module.perf_counter() - started
+    other_values, *_ = run(not ambient)
+    if values != other_values:
+        raise ReproError(
+            "fast exponentiation paths changed ciphertext values — the "
+            "crypto micro-suite refuses to record a tainted baseline"
+        )
+
+    digest = hashlib.sha256(
+        b"".join(v.to_bytes((v.bit_length() + 7) // 8 or 1, "big") for v in values)
+    ).digest()
+    ledger = profiler.to_dict()
+
+    def muls(op_class: str) -> int:
+        return ledger.get(op_class, {}).get("bigint_muls", 0)
+
+    # The CRT refill ran at half width (modulus p^2 / q^2 of ~keysize
+    # bits) when fast, full width (~2*keysize) otherwise; weight by the
+    # squared 64-bit limb count so the two are commensurable.
+    crt_width = args.keysize if ambient else 2 * args.keysize
+    crt_work = round(crt_muls * (crt_width / 64.0) ** 2)
+    metrics = {
+        "ops.encrypt.bigint_muls": muls("encrypt") + muls("encrypt.tables"),
+        "ops.encrypt_pool.bigint_muls": muls("encrypt.pooled"),
+        "ops.rerandomize.bigint_muls": (
+            muls("rerandomize") + muls("rerandomize.tables")
+        ),
+        "ops.dot.bigint_muls": dot_muls,
+        "ops.refill_windowed.bigint_muls": windowed_muls,
+        "ops.decrypt_crt.bigint_muls": (
+            muls("decrypt.crt") + muls("decrypt.crt.tables")
+        ),
+        "ops.decrypt_generic.bigint_muls": muls("decrypt.generic"),
+    }
+    metrics["ops.total.bigint_muls"] = sum(metrics.values())
+    metrics["ops.refill_crt.mul_work64"] = crt_work
+    metrics["answers.digest_mod"] = int.from_bytes(digest[:6], "big")
+    metrics["time.suite_seconds"] = round(suite_seconds, 6)
+    return metrics
+
+
 def _cmd_index_build(args: argparse.Namespace) -> int:
     import json as json_module
     import time
@@ -826,21 +961,29 @@ def _cmd_perf_check(args: argparse.Namespace) -> int:
     )
 
     store = BaselineStore(args.baseline_dir)
-    workload = {
-        "pois": args.pois,
-        "n": args.n,
-        "d": args.d,
-        "delta": args.delta,
-        "k": args.k,
-        "seed": args.seed,
-    }
+    if args.suite == "crypto":
+        workload = {"suite": "crypto", "seed": args.seed}
+        runs: list[str] = [f"crypto-{args.keysize}"]
+    else:
+        workload = {
+            "pois": args.pois,
+            "n": args.n,
+            "d": args.d,
+            "delta": args.delta,
+            "k": args.k,
+            "seed": args.seed,
+        }
+        runs = list(args.protocols)
     sha = git_sha()
     comparisons = []
-    for protocol in args.protocols:
-        metrics = _perf_metrics(protocol, args)
+    for experiment in runs:
+        if args.suite == "crypto":
+            metrics = _crypto_micro_metrics(args)
+        else:
+            metrics = _perf_metrics(experiment, args)
         if args.record:
             record = BaselineRecord(
-                experiment=protocol,
+                experiment=experiment,
                 metrics=metrics,
                 git_sha=sha,
                 keysize=args.keysize,
@@ -852,10 +995,10 @@ def _cmd_perf_check(args: argparse.Namespace) -> int:
                 compare_to_baseline(record, metrics, args.rel_tolerance, sha)
             )
             continue
-        baseline = store.load(protocol)
+        baseline = store.load(experiment)
         if baseline.keysize != args.keysize or baseline.config != workload:
             raise ReproError(
-                f"baseline {protocol!r} was recorded for keysize="
+                f"baseline {experiment!r} was recorded for keysize="
                 f"{baseline.keysize} config={baseline.config}, but this run "
                 f"uses keysize={args.keysize} config={workload}; matching "
                 "workloads are required — re-record or adjust the flags"
@@ -869,7 +1012,7 @@ def _cmd_perf_check(args: argparse.Namespace) -> int:
         improved = comparison.improved
         verdict = "ok" if not exact else "REGRESSED"
         print(
-            f"{protocol:<10} {verdict}: {len(exact)} exact regression(s), "
+            f"{experiment:<10} {verdict}: {len(exact)} exact regression(s), "
             f"{len(timing)} timing regression(s), {len(improved)} improvement(s)"
         )
         for delta in exact + timing:

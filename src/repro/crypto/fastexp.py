@@ -1,0 +1,389 @@
+"""Fast modular-exponentiation kernels with exact multiplication ledgers.
+
+Pure-Python Paillier spends essentially all of its time in three shapes of
+modular exponentiation, and each shape admits a classical speedup:
+
+- **Fixed exponent, varying base** — the nonce exponentiation
+  ``r^{N^s} mod N^{s+1}``: the exponent is a per-(key, s) constant, so its
+  sliding-window *program* (:class:`WindowPlan`) is decomposed once and
+  reused for every nonce.  Per call only the small odd-power table of the
+  base is built; the squaring chain and window digits are fixed.
+- **Many bases at once** — the homomorphic dot product
+  ``prod c_i^{x_i} mod N^{s+1}``: :func:`multi_pow` interleaves the
+  per-term windows over one shared squaring chain (Straus/Shamir), paying
+  ``max_i bits(x_i)`` squarings total instead of per term.
+- **Known factorization** — any exponentiation the secret-key holder runs
+  in the ciphertext group: :class:`CrtPow` splits it into two half-width
+  chains modulo ``p^{s+1}`` / ``q^{s+1}`` with per-prime order-reduced
+  exponents, recombined by Garner.
+
+Every kernel is *value-identical* to the builtin ``pow`` it replaces and
+never consumes randomness, so ciphertexts, answers, and digests are byte
+for byte the same with fast paths on or off.  What changes is the exact
+multiplication count, which each kernel reports through an optional
+:class:`MulLedger` and through analytic cost properties derived from the
+*same* window decomposition the evaluator executes — the profiler
+(:mod:`repro.obs.profile`) and the perf sentinel consume those counts, so
+the speedups are gated as dropping integers, not as wall-clock noise.
+
+The module-level switch (:func:`set_enabled`, honoring ``REPRO_FASTEXP=0``
+at import) lets callers and CI prove the on/off equivalence.
+"""
+
+from __future__ import annotations
+
+import os
+from contextlib import contextmanager
+from dataclasses import dataclass
+from typing import Iterator, Sequence
+
+from repro.crypto.modmath import invmod
+from repro.errors import CryptoError
+
+#: Largest window width ever considered; 2^(w-1) table entries per base.
+MAX_WINDOW = 8
+
+_enabled = os.environ.get("REPRO_FASTEXP", "1") != "0"
+
+
+def enabled() -> bool:
+    """Whether the fast paths are active (default on; ``REPRO_FASTEXP=0``)."""
+    return _enabled
+
+
+def set_enabled(flag: bool) -> bool:
+    """Flip the fast paths on/off; returns the previous setting."""
+    global _enabled
+    previous = _enabled
+    _enabled = bool(flag)
+    return previous
+
+
+@contextmanager
+def forced(flag: bool) -> Iterator[None]:
+    """Temporarily force the fast paths on or off (equivalence proofs)."""
+    previous = set_enabled(flag)
+    try:
+        yield
+    finally:
+        set_enabled(previous)
+
+
+@dataclass
+class MulLedger:
+    """A running big-integer multiplication count, threaded through kernels."""
+
+    muls: int = 0
+
+    def add(self, count: int) -> None:
+        """Record ``count`` more modular multiplications."""
+        self.muls += count
+
+
+def binary_pow_cost(exponent: int) -> int:
+    """Multiplications of plain square-and-multiply (the pre-window model)."""
+    e = abs(exponent)
+    if e <= 1:
+        return 0
+    return (e.bit_length() - 1) + (e.bit_count() - 1)
+
+
+def _decompose(exponent: int, window: int) -> list[tuple[int, int]]:
+    """MSB-first sliding-window program for ``exponent``.
+
+    Returns ``[(shift, digit), ...]`` evaluated as
+    ``acc = acc^(2^shift) * table[digit]`` (``digit == 0`` means squarings
+    only); the first entry seeds ``acc = table[digit]`` with no squarings.
+    Digits are odd and below ``2^window``, so one odd-power table serves
+    the whole program.
+    """
+    if exponent < 0:
+        raise CryptoError("window decomposition needs a non-negative exponent")
+    if not 1 <= window <= MAX_WINDOW:
+        raise CryptoError(f"window width must be in [1, {MAX_WINDOW}]")
+    program: list[tuple[int, int]] = []
+    i = exponent.bit_length() - 1
+    pending = 0
+    while i >= 0:
+        if not (exponent >> i) & 1:
+            pending += 1
+            i -= 1
+            continue
+        width = min(window, i + 1)
+        chunk = (exponent >> (i + 1 - width)) & ((1 << width) - 1)
+        while not chunk & 1:  # keep digits odd: defer trailing zeros
+            chunk >>= 1
+            width -= 1
+        program.append((pending + width, chunk))
+        pending = 0
+        i -= width
+    if pending:
+        program.append((pending, 0))
+    return program
+
+
+def _table_muls(max_digit: int) -> int:
+    """Multiplications to build the odd powers ``base^1 .. base^max_digit``.
+
+    ``base^2`` costs one squaring, then each further odd power one multiply.
+    """
+    return 0 if max_digit <= 1 else 1 + (max_digit - 1) // 2
+
+
+class WindowPlan:
+    """The reusable sliding-window program of one *fixed* exponent.
+
+    Decomposing the exponent costs zero multiplications, so a plan is pure
+    precomputation: build once per (key, level), evaluate many times.  The
+    per-call cost splits into :attr:`table_muls` (the odd-power table of
+    the fresh base) and :attr:`chain_muls` (squarings plus window
+    multiplies) — reported separately because the profiler charges window
+    tables apart from per-call chain work.
+    """
+
+    __slots__ = ("exponent", "window", "program", "max_digit")
+
+    def __init__(self, exponent: int, window: int) -> None:
+        self.exponent = exponent
+        self.window = window
+        self.program = _decompose(exponent, window)
+        self.max_digit = max((d for _, d in self.program), default=0)
+
+    @property
+    def table_muls(self) -> int:
+        """Per-call multiplications spent on the base's odd-power table."""
+        return _table_muls(self.max_digit)
+
+    @property
+    def chain_muls(self) -> int:
+        """Per-call squarings plus window multiplies (table excluded)."""
+        if not self.program:
+            return 0
+        squarings = sum(shift for shift, _ in self.program[1:])
+        window_muls = sum(1 for _, digit in self.program[1:] if digit)
+        return squarings + window_muls
+
+    @property
+    def per_call_muls(self) -> int:
+        """Total exact multiplications of one :meth:`powmod` call."""
+        return self.table_muls + self.chain_muls
+
+    def powmod(
+        self, base: int, modulus: int, ledger: MulLedger | None = None
+    ) -> int:
+        """``base^exponent mod modulus`` — value-identical to ``pow``."""
+        if not self.program:
+            return 1 % modulus
+        base %= modulus
+        table = {1: base}
+        if self.max_digit > 1:
+            base2 = base * base % modulus
+            power = base
+            for digit in range(3, self.max_digit + 1, 2):
+                power = power * base2 % modulus
+                table[digit] = power
+        acc: int | None = None
+        for shift, digit in self.program:
+            if acc is None:
+                acc = table[digit]
+                continue
+            for _ in range(shift):
+                acc = acc * acc % modulus
+            if digit:
+                acc = acc * table[digit] % modulus
+        if ledger is not None:
+            ledger.add(self.per_call_muls)
+        return acc
+
+
+def plan(exponent: int, window: int | None = None) -> WindowPlan:
+    """The cheapest :class:`WindowPlan` for ``exponent``.
+
+    With ``window=None`` every width in ``[1, MAX_WINDOW]`` is costed
+    exactly and the first minimum wins — deterministic, and ``O(bits)``
+    per candidate, which is negligible against even one evaluation.
+    """
+    if window is not None:
+        return WindowPlan(exponent, window)
+    best: WindowPlan | None = None
+    for width in range(1, MAX_WINDOW + 1):
+        candidate = WindowPlan(exponent, width)
+        if best is None or candidate.per_call_muls < best.per_call_muls:
+            best = candidate
+    return best
+
+
+def default_window(bits: int) -> int:
+    """A good per-term window width for a ``bits``-long *varying* exponent.
+
+    Minimizes the expected marginal cost ``table + windows`` a term adds
+    to a shared-squaring multi-exponentiation: ``2^(w-1)`` table entries
+    against roughly ``bits / (w + 1)`` window multiplies.
+    """
+    if bits <= 1:
+        return 1
+    best_width, best_cost = 1, float("inf")
+    for width in range(1, MAX_WINDOW + 1):
+        cost = (1 << (width - 1)) + (bits - 1) / (width + 1)
+        if cost < best_cost:
+            best_width, best_cost = width, cost
+    return best_width
+
+
+def _multi_programs(
+    exponents: Sequence[int], window: int | None
+) -> list[list[tuple[int, int]]]:
+    """Per-exponent window programs with absolute bit positions.
+
+    Each program is ``[(lsb_position, digit), ...]`` — the digit is
+    multiplied in when the shared squaring chain reaches its least
+    significant bit.
+    """
+    programs = []
+    for exponent in exponents:
+        width = window if window is not None else default_window(
+            exponent.bit_length()
+        )
+        events = []
+        position = exponent.bit_length() - 1
+        while position >= 0:
+            if not (exponent >> position) & 1:
+                position -= 1
+                continue
+            take = min(width, position + 1)
+            chunk = (exponent >> (position + 1 - take)) & ((1 << take) - 1)
+            while not chunk & 1:
+                chunk >>= 1
+                take -= 1
+            events.append((position + 1 - take, chunk))
+            position -= take
+        programs.append(events)
+    return programs
+
+
+def _multi_cost(programs: Sequence[Sequence[tuple[int, int]]]) -> int:
+    """Exact multiplication count of evaluating ``programs`` interleaved."""
+    total_events = sum(len(events) for events in programs)
+    if total_events == 0:
+        return 0
+    tables = sum(
+        _table_muls(max(digit for _, digit in events))
+        for events in programs
+        if events
+    )
+    first = max(events[0][0] for events in programs if events)
+    return tables + first + total_events - 1
+
+
+def multi_pow_cost(
+    exponents: Sequence[int], window: int | None = None
+) -> int:
+    """Exact multiplications :func:`multi_pow` will spend on ``exponents``."""
+    return _multi_cost(_multi_programs(exponents, window))
+
+
+def multi_pow(
+    pairs: Sequence[tuple[int, int]],
+    modulus: int,
+    window: int | None = None,
+    ledger: MulLedger | None = None,
+) -> int:
+    """``prod base_i^{exponent_i} mod modulus`` via interleaved windows.
+
+    The Straus/Shamir trick: one squaring chain of ``max_i bits(e_i)``
+    steps shared by every term, with per-term odd-power tables.  Exact
+    cost is :func:`multi_pow_cost` of the same exponents (asserted equal
+    in tests); value-identical to the product of builtin ``pow`` calls.
+    """
+    exponents = [exponent for _, exponent in pairs]
+    for exponent in exponents:
+        if exponent < 0:
+            raise CryptoError("multi_pow needs non-negative exponents")
+    programs = _multi_programs(exponents, window)
+    events_at: dict[int, list[tuple[int, int]]] = {}
+    tables: list[dict[int, int]] = []
+    for (base, _), events in zip(pairs, programs, strict=True):
+        index = len(tables)
+        base %= modulus
+        table = {1: base}
+        max_digit = max((digit for _, digit in events), default=0)
+        if max_digit > 1:
+            base2 = base * base % modulus
+            power = base
+            for digit in range(3, max_digit + 1, 2):
+                power = power * base2 % modulus
+                table[digit] = power
+        tables.append(table)
+        for position, digit in events:
+            events_at.setdefault(position, []).append((index, digit))
+    if not events_at:
+        return 1 % modulus
+    acc: int | None = None
+    for position in range(max(events_at), -1, -1):
+        if acc is not None:
+            acc = acc * acc % modulus
+        for index, digit in events_at.get(position, ()):
+            value = tables[index][digit]
+            acc = value if acc is None else acc * value % modulus
+    if ledger is not None:
+        ledger.add(_multi_cost(programs))
+    return acc
+
+
+class CrtPow:
+    """Half-width exponentiation for whoever knows ``N = p * q``.
+
+    ``base^e mod N^{s+1}`` splits into chains modulo ``p^{s+1}`` and
+    ``q^{s+1}`` whose exponents are reduced by the per-prime group orders
+    ``p^s (p - 1)`` / ``q^s (q - 1)`` (valid for *unit* bases — Paillier
+    nonces and honest ciphertext values are units), recombined by Garner.
+    Each multiplication runs on half-width limbs, so the weighted work
+    roughly halves even where the raw count does not; the ledger reports
+    the honest raw count.
+    """
+
+    def __init__(self, p: int, q: int) -> None:
+        if p == q:
+            raise CryptoError("CRT exponentiation needs distinct primes")
+        self.p = p
+        self.q = q
+        self._params: dict[int, tuple[int, int, int, int, int]] = {}
+
+    def _level(self, s: int) -> tuple[int, int, int, int, int]:
+        params = self._params.get(s)
+        if params is None:
+            ps1, qs1 = self.p ** (s + 1), self.q ** (s + 1)
+            order_p = self.p**s * (self.p - 1)
+            order_q = self.q**s * (self.q - 1)
+            params = (ps1, qs1, order_p, order_q, invmod(qs1, ps1))
+            self._params[s] = params
+        return params
+
+    def reduce(self, exponent: int, s: int = 1) -> tuple[int, int]:
+        """The order-reduced per-prime exponents of ``exponent``."""
+        _, _, order_p, order_q, _ = self._level(s)
+        return exponent % order_p, exponent % order_q
+
+    def cost(self, exponent: int, s: int = 1) -> int:
+        """Exact multiplications of one :meth:`pow` call (Garner included)."""
+        ep, eq = self.reduce(exponent, s)
+        return binary_pow_cost(ep) + binary_pow_cost(eq) + 2
+
+    def pow(
+        self,
+        base: int,
+        exponent: int,
+        s: int = 1,
+        ledger: MulLedger | None = None,
+    ) -> int:
+        """``base^exponent mod (p*q)^{s+1}`` for a unit ``base``."""
+        if exponent < 0:
+            raise CryptoError("CRT exponentiation needs a non-negative exponent")
+        ps1, qs1, _, _, q_inv = self._level(s)
+        ep, eq = self.reduce(exponent, s)
+        xp = pow(base % ps1, ep, ps1)
+        xq = pow(base % qs1, eq, qs1)
+        # Garner: x = xq + q^{s+1} * ((xp - xq) * (q^{s+1})^-1 mod p^{s+1}).
+        if ledger is not None:
+            ledger.add(self.cost(exponent, s))
+        return xq + qs1 * ((xp - xq) * q_inv % ps1)

@@ -20,7 +20,9 @@ import random
 from collections import defaultdict
 from dataclasses import dataclass
 
-from repro.crypto.paillier import Ciphertext, PaillierPublicKey
+from repro.crypto import fastexp
+from repro.crypto.paillier import Ciphertext, PaillierPrivateKey, PaillierPublicKey
+from repro.encoding.packing import pack_uniform, unpack_uniform
 from repro.errors import ConfigurationError, CryptoError
 
 
@@ -31,13 +33,22 @@ class PoolStats:
     ``pooled`` counts takes served from stock (the offline-work wins),
     ``dry`` counts takes that found the pool empty (the caller fell back
     to an online exponentiation), ``precomputed`` counts factors ever
-    produced by :meth:`NoncePool.refill`.
+    produced by :meth:`NoncePool.refill`.  The ``fastexp`` trio tracks
+    which exponentiation kernel the refills ran: ``windowed`` factors
+    went through the fixed-exponent window program, ``crt_split``
+    through the secret-key half-width path, and ``fast_muls`` is the
+    big-integer multiplication count refill exponentiations spent —
+    exact for the fast kernels, the square-and-multiply estimate for
+    builtin ``pow`` (the ``crypto.fastexp.*`` metrics).
     """
 
     precomputed: int = 0
     refills: int = 0
     pooled: int = 0
     dry: int = 0
+    windowed: int = 0
+    crt_split: int = 0
+    fast_muls: int = 0
 
     @property
     def hit_rate(self) -> float:
@@ -50,15 +61,38 @@ class PoolStats:
         self.refills += other.refills
         self.pooled += other.pooled
         self.dry += other.dry
+        self.windowed += other.windowed
+        self.crt_split += other.crt_split
+        self.fast_muls += other.fast_muls
 
 
 class NoncePool:
-    """A stock of precomputed obfuscation factors ``r^{N^s} mod N^{s+1}``."""
+    """A stock of precomputed obfuscation factors ``r^{N^s} mod N^{s+1}``.
 
-    def __init__(self, public_key: PaillierPublicKey) -> None:
+    With a ``secret_key`` the pool belongs to the key owner (the paper's
+    coordinator precomputes its *own* nonces), so refills run the
+    CRT-split half-width path; without one they use the public windowed
+    fixed-exponent program.  Both produce the exact values builtin
+    ``pow`` would, so pool contents never depend on which kernel ran.
+    """
+
+    def __init__(
+        self,
+        public_key: PaillierPublicKey,
+        secret_key: PaillierPrivateKey | None = None,
+    ) -> None:
+        if secret_key is not None and secret_key.public_key != public_key:
+            raise CryptoError("secret key does not match the pool's public key")
         self.public_key = public_key
+        self.secret_key = secret_key
         self._factors: dict[int, list[int]] = defaultdict(list)
         self.stats = PoolStats()
+
+    def attach_secret_key(self, secret_key: PaillierPrivateKey) -> None:
+        """Upgrade refills to the CRT-split path (key owner's pool)."""
+        if secret_key.public_key != self.public_key:
+            raise CryptoError("secret key does not match the pool's public key")
+        self.secret_key = secret_key
 
     def available(self, s: int = 1) -> int:
         """How many factors remain at level ``s``."""
@@ -73,9 +107,21 @@ class NoncePool:
         mod = pk.ciphertext_modulus(s)
         exponent = pk.n_pow(s)
         bucket = self._factors[s]
+        fast = fastexp.enabled()
+        ledger = fastexp.MulLedger()
+        plan = pk.nonce_plan(s) if fast and self.secret_key is None else None
         for _ in range(count):
             r = pk.random_unit(rng)
-            bucket.append(pow(r, exponent, mod))
+            if not fast:
+                bucket.append(pow(r, exponent, mod))
+                ledger.add(fastexp.binary_pow_cost(exponent))
+            elif self.secret_key is not None:
+                bucket.append(self.secret_key.crt_pow(r, exponent, s, ledger))
+                self.stats.crt_split += 1
+            else:
+                bucket.append(plan.powmod(r, mod, ledger))
+                self.stats.windowed += 1
+        self.stats.fast_muls += ledger.muls
         self.stats.precomputed += count
         self.stats.refills += 1
 
@@ -112,12 +158,22 @@ class NoncePoolRegistry:
         self._pools: dict[PaillierPublicKey, NoncePool] = {}
         self._refills = 0
 
-    def pool_for(self, public_key: PaillierPublicKey) -> NoncePool:
-        """The shared pool of one public key (created on first use)."""
+    def pool_for(
+        self,
+        public_key: PaillierPublicKey,
+        secret_key: PaillierPrivateKey | None = None,
+    ) -> NoncePool:
+        """The shared pool of one public key (created on first use).
+
+        Passing the matching ``secret_key`` marks the pool as key-owned,
+        switching refills to the CRT-split path (see :class:`NoncePool`).
+        """
         pool = self._pools.get(public_key)
         if pool is None:
-            pool = NoncePool(public_key)
+            pool = NoncePool(public_key, secret_key)
             self._pools[public_key] = pool
+        elif secret_key is not None and pool.secret_key is None:
+            pool.attach_secret_key(secret_key)
         return pool
 
     def ensure(self, public_key: PaillierPublicKey, count: int, s: int = 1) -> NoncePool:
@@ -174,9 +230,55 @@ def encrypt_with_pool(
     factor = pool.take(s)
     if factor is None:
         return pk.encrypt(plaintext, s=s, rng=rng)
-    mod = pk.ciphertext_modulus(s)
-    value = pk.g_pow(plaintext, s) * factor % mod
-    return Ciphertext(value=value, s=s, public_key=pk)
+    # Routed through the key method so profiled keys charge the pooled
+    # cost (binomial expansion + combine) instead of a full encryption.
+    return pk.encrypt_with_factor(plaintext, factor, s=s)
+
+
+def packed_capacity(public_key: PaillierPublicKey, field_bits: int, s: int = 1) -> int:
+    """How many ``field_bits``-wide fields fit in one level-``s`` plaintext.
+
+    One bit is reserved below ``N^s`` (whose top bit is not guaranteed),
+    mirroring :class:`~repro.encoding.answers.AnswerCodec`'s
+    ``keysize - 1`` chunking.
+    """
+    if field_bits < 1:
+        raise ConfigurationError("field width must be positive")
+    return max((public_key.key_bits * s - 1) // field_bits, 0)
+
+
+def encrypt_packed(
+    pool: NoncePool,
+    values: list[int],
+    field_bits: int,
+    s: int = 1,
+    rng: random.Random | None = None,
+    public_key: PaillierPublicKey | None = None,
+) -> Ciphertext:
+    """Encrypt many small fields as one pooled ciphertext.
+
+    Packs ``values`` with :func:`~repro.encoding.packing.pack_uniform`
+    and spends a *single* obfuscation factor, so a batch of serving-side
+    payload fields costs one encryption instead of ``len(values)``.
+    """
+    capacity = packed_capacity(pool.public_key, field_bits, s)
+    if len(values) > capacity:
+        raise CryptoError(
+            f"{len(values)} fields of {field_bits} bits exceed the "
+            f"level-{s} plaintext capacity of {capacity} fields"
+        )
+    plaintext = pack_uniform(values, field_bits)
+    return encrypt_with_pool(pool, plaintext, s=s, rng=rng, public_key=public_key)
+
+
+def decrypt_packed(
+    secret_key: PaillierPrivateKey,
+    c: Ciphertext,
+    field_bits: int,
+    count: int,
+) -> list[int]:
+    """Inverse of :func:`encrypt_packed` for ``count`` fields."""
+    return unpack_uniform(secret_key.decrypt(c), field_bits, count)
 
 
 def pooled_indicator(

@@ -30,9 +30,27 @@ from functools import lru_cache
 from math import gcd
 from typing import NamedTuple
 
-from repro.crypto.modmath import invmod, lcm
+from repro.crypto import fastexp
+from repro.crypto.modmath import factorial_inverse_table, invmod, lcm
 from repro.crypto.primes import generate_distinct_primes
 from repro.errors import CryptoError
+
+#: Bound on the nonce rejection loop.  Each draw from ``Z_N`` is a non-unit
+#: with probability ~2^-(keysize/2); this many consecutive failures means
+#: the modulus is degenerate, not that we are unlucky.
+_RANDOM_UNIT_ATTEMPTS = 128
+
+
+@lru_cache(maxsize=64)
+def _inv_fact_table(base: int, s: int) -> tuple[int, ...]:
+    """Inverses of ``k! mod base^s`` for the extraction recursion.
+
+    One shared implementation (:func:`~repro.crypto.modmath.
+    factorial_inverse_table`), cached per (key modulus, level): the same
+    table is rebuilt for every decryption otherwise — N, p, and q each
+    appear here once per level in a long-running process.
+    """
+    return tuple(factorial_inverse_table(s, base**s))
 
 
 def _extract_dlog(u: int, base: int, s: int) -> int:
@@ -48,12 +66,7 @@ def _extract_dlog(u: int, base: int, s: int) -> int:
     powers = [1] * (s + 2)
     for j in range(1, s + 2):
         powers[j] = powers[j - 1] * base
-    mod_s = powers[s]
-    inv_fact = [1] * (s + 1)
-    fact = 1
-    for k in range(2, s + 1):
-        fact *= k
-        inv_fact[k] = invmod(fact, mod_s)
+    inv_fact = _inv_fact_table(base, s)
     m = 0
     for j in range(1, s + 1):
         mod_j = powers[j]
@@ -105,13 +118,14 @@ class Ciphertext:
 class PaillierPublicKey:
     """Public key: the modulus N plus cached powers of N."""
 
-    __slots__ = ("n", "_n_powers")
+    __slots__ = ("n", "_n_powers", "_nonce_plans")
 
     def __init__(self, n: int) -> None:
         if n < 15:
             raise CryptoError("modulus too small")
         self.n = n
         self._n_powers: dict[int, int] = {0: 1, 1: n}
+        self._nonce_plans: dict[int, fastexp.WindowPlan] = {}
 
     def __eq__(self, other: object) -> bool:
         return isinstance(other, PaillierPublicKey) and self.n == other.n
@@ -170,16 +184,39 @@ class PaillierPublicKey:
             acc = (acc + coeff * n_power) % mod
         return acc
 
+    def nonce_plan(self, s: int = 1) -> fastexp.WindowPlan:
+        """The cached window program of the fixed nonce exponent ``N^s``.
+
+        Decomposed once per (key, level) — zero multiplications — and
+        shared by :meth:`encrypt`, :meth:`rerandomize`, and the nonce
+        pool's refills.
+        """
+        plan = self._nonce_plans.get(s)
+        if plan is None:
+            plan = fastexp.plan(self.n_pow(s))
+            self._nonce_plans[s] = plan
+        return plan
+
+    def obfuscate(self, r: int, s: int = 1) -> int:
+        """The obfuscation factor ``r^{N^s} mod N^{s+1}`` of nonce ``r``."""
+        mod_cipher = self.ciphertext_modulus(s)
+        if fastexp.enabled():
+            return self.nonce_plan(s).powmod(r, mod_cipher)
+        return pow(r, self.n_pow(s), mod_cipher)
+
     def random_unit(self, rng: random.Random) -> int:
         """A random element of ``Z*_N`` (the encryption nonce r)."""
-        while True:
+        # A unit check via gcd; failure would expose a factor of N and is
+        # astronomically unlikely for honest keys, so repeated failures can
+        # only mean the modulus itself is degenerate.
+        for _ in range(_RANDOM_UNIT_ATTEMPTS):
             r = rng.randrange(1, self.n)
-            # A unit check via gcd; failure would expose a factor of N and is
-            # astronomically unlikely for honest keys.
-            from math import gcd
-
             if gcd(r, self.n) == 1:
                 return r
+        raise CryptoError(
+            f"no unit found in Z*_N after {_RANDOM_UNIT_ATTEMPTS} draws; "
+            "the modulus is degenerate (far too many small factors)"
+        )
 
     def encrypt(
         self,
@@ -204,7 +241,26 @@ class PaillierPublicKey:
             rng = rng or random.Random()
             r = self.random_unit(rng)
             mod_cipher = self.ciphertext_modulus(s)
-            value = value * pow(r, self.n_pow(s), mod_cipher) % mod_cipher
+            value = value * self.obfuscate(r, s) % mod_cipher
+        return Ciphertext(value=value, s=s, public_key=self)
+
+    def encrypt_with_factor(
+        self, plaintext: int, factor: int, s: int = 1
+    ) -> Ciphertext:
+        """Encrypt with a ready-made obfuscation factor ``r^{N^s}``.
+
+        The nonce-pool path: the expensive exponentiation already happened
+        offline, so only the binomial ``(1+N)^m`` and one combine multiply
+        remain.  The factor must come from :meth:`obfuscate` (or a pool
+        refilled under *this* key) for the ciphertext to be decryptable.
+        """
+        mod_plain = self.plaintext_modulus(s)
+        if not 0 <= plaintext < mod_plain:
+            raise CryptoError(
+                f"plaintext out of range for s={s}: need 0 <= m < N^{s}"
+            )
+        mod_cipher = self.ciphertext_modulus(s)
+        value = self.g_pow(plaintext, s) * factor % mod_cipher
         return Ciphertext(value=value, s=s, public_key=self)
 
     def rerandomize(self, c: Ciphertext, rng: random.Random) -> Ciphertext:
@@ -213,14 +269,24 @@ class PaillierPublicKey:
             raise CryptoError("ciphertext does not belong to this key")
         mod_cipher = self.ciphertext_modulus(c.s)
         r = self.random_unit(rng)
-        value = c.value * pow(r, self.n_pow(c.s), mod_cipher) % mod_cipher
+        value = c.value * self.obfuscate(r, c.s) % mod_cipher
         return Ciphertext(value=value, s=c.s, public_key=self)
 
 
 class PaillierPrivateKey:
     """Secret key: the factorization of N, plus decryption precomputations."""
 
-    __slots__ = ("public_key", "p", "q", "lam", "_lam_inv_cache", "_crt", "_crt_s")
+    __slots__ = (
+        "public_key",
+        "p",
+        "q",
+        "lam",
+        "_lam_inv_cache",
+        "_crt",
+        "_crt_s",
+        "_prime_plans",
+        "_crt_pow",
+    )
 
     def __init__(self, public_key: PaillierPublicKey, p: int, q: int) -> None:
         if p * q != public_key.n:
@@ -234,6 +300,40 @@ class PaillierPrivateKey:
         self._lam_inv_cache: dict[int, int] = {}
         self._crt: tuple[int, int, int, int, int] | None = None
         self._crt_s: dict[int, tuple[int, int, int, int, int]] = {}
+        self._prime_plans: tuple[fastexp.WindowPlan, fastexp.WindowPlan] | None = None
+        self._crt_pow: fastexp.CrtPow | None = None
+
+    def prime_plans(self) -> tuple[fastexp.WindowPlan, fastexp.WindowPlan]:
+        """Window programs of the fixed CRT exponents ``p - 1`` and ``q - 1``.
+
+        A plan depends only on its exponent, so the same pair serves every
+        Damgård–Jurik level (the per-level modulus changes, the exponent
+        does not).
+        """
+        plans = self._prime_plans
+        if plans is None:
+            plans = (fastexp.plan(self.p - 1), fastexp.plan(self.q - 1))
+            self._prime_plans = plans
+        return plans
+
+    def crt_pow(
+        self,
+        base: int,
+        exponent: int,
+        s: int = 1,
+        ledger: "fastexp.MulLedger | None" = None,
+    ) -> int:
+        """``base^exponent mod N^{s+1}`` at half width, for unit bases.
+
+        The secret-key holder's general-purpose exponentiation: two
+        order-reduced chains modulo ``p^{s+1}`` / ``q^{s+1}`` plus Garner
+        (see :class:`~repro.crypto.fastexp.CrtPow`).  The coordinator owns
+        the key pair, so its own nonce-pool refills run here instead of
+        full width.
+        """
+        if self._crt_pow is None:
+            self._crt_pow = fastexp.CrtPow(self.p, self.q)
+        return self._crt_pow.pow(base, exponent, s, ledger)
 
     def __repr__(self) -> str:
         return f"PaillierPrivateKey(bits={self.public_key.key_bits})"
@@ -311,12 +411,23 @@ class PaillierPrivateKey:
             self._crt = (p2, q2, hp, hq, invmod(q, p))
         return self._crt
 
+    def _prime_pow(self, value: int, which: int, modulus: int) -> int:
+        """``value^{p-1}`` (which=0) or ``value^{q-1}`` (which=1) mod ``modulus``.
+
+        Windowed through the cached fixed-exponent plans when the fast
+        paths are on; plain ``pow`` otherwise.  Value-identical either way.
+        """
+        if fastexp.enabled():
+            return self.prime_plans()[which].powmod(value, modulus)
+        exponent = (self.p if which == 0 else self.q) - 1
+        return pow(value, exponent, modulus)
+
     def _decrypt_crt(self, value: int) -> int:
         """CRT decryption of an eps_1 ciphertext value."""
         p, q = self.p, self.q
         p2, q2, hp, hq, q_inv = self._crt_params()
-        mp = (pow(value % p2, p - 1, p2) - 1) // p % p * hp % p
-        mq = (pow(value % q2, q - 1, q2) - 1) // q % q * hq % q
+        mp = (self._prime_pow(value % p2, 0, p2) - 1) // p % p * hp % p
+        mq = (self._prime_pow(value % q2, 1, q2) - 1) // q % q * hq % q
         # Garner recombination: m = mq + q * ((mp - mq) * q^-1 mod p).
         return (mq + q * ((mp - mq) * q_inv % p)) % self.public_key.n
 
@@ -346,8 +457,8 @@ class PaillierPrivateKey:
         p, q = self.p, self.q
         ps1, qs1, hp, hq, qs_inv = self._crt_params_level(s)
         ps, qs = p**s, q**s
-        mp = _extract_dlog(pow(value % ps1, p - 1, ps1), p, s) * hp % ps
-        mq = _extract_dlog(pow(value % qs1, q - 1, qs1), q, s) * hq % qs
+        mp = _extract_dlog(self._prime_pow(value % ps1, 0, ps1), p, s) * hp % ps
+        mq = _extract_dlog(self._prime_pow(value % qs1, 1, qs1), q, s) * hq % qs
         # Garner recombination modulo N^s = p^s * q^s.
         return mq + qs * ((mp - mq) * qs_inv % ps)
 

@@ -24,6 +24,7 @@ from __future__ import annotations
 import time
 from dataclasses import dataclass
 
+from repro.crypto import fastexp
 from repro.crypto.paillier import (
     Ciphertext,
     KeyPair,
@@ -107,26 +108,70 @@ class ProfiledPublicKey(PaillierPublicKey):
         super().__init__(n)
         self.profiler = profiler if profiler is not None else KeyProfiler()
 
+    def _nonce_cost(self, s: int) -> tuple[int, int]:
+        """(chain muls, window-table muls) of one nonce exponentiation.
+
+        With the fast paths on these are the *exact* counts of the cached
+        window program; off, the square-and-multiply estimate of builtin
+        ``pow`` (and no table).
+        """
+        if fastexp.enabled():
+            plan = self.nonce_plan(s)
+            return plan.chain_muls, plan.table_muls
+        muls, _ = pow_mul_estimate(self.n_pow(s), (s + 1) * self.key_bits)
+        return muls, 0
+
     def encrypt(self, plaintext, s=1, rng=None, secure=True) -> Ciphertext:
         started = time.perf_counter()
         result = super().encrypt(plaintext, s, rng, secure)
         wall = time.perf_counter() - started
-        mod_bits = (s + 1) * self.key_bits
+        limb_factor = ((s + 1) * self.key_bits / 64.0) ** 2
         if secure:
-            # The dominant cost: the nonce exponentiation r^{N^s}.
-            muls, work = pow_mul_estimate(self.n_pow(s), mod_bits)
+            # The nonce exponentiation r^{N^s}, plus the same 2s-mul
+            # binomial expansion the insecure path pays, plus the combine
+            # multiply.  Window-table builds are charged under their own
+            # op class so per-call chain work stays comparable across
+            # window widths.
+            chain, tables = self._nonce_cost(s)
+            muls = chain + 2 * s + 1
+            if tables:
+                self.profiler.profile("encrypt.tables").record(
+                    tables, tables * limb_factor, 0.0
+                )
         else:
             # Only the s-term binomial expansion of (1+N)^m remains.
-            muls, work = 2 * s, 2 * s * (mod_bits / 64.0) ** 2
-        self.profiler.profile("encrypt").record(muls, work, wall)
+            muls = 2 * s
+        self.profiler.profile("encrypt").record(muls, muls * limb_factor, wall)
+        return result
+
+    def encrypt_with_factor(self, plaintext, factor, s=1) -> Ciphertext:
+        started = time.perf_counter()
+        result = super().encrypt_with_factor(plaintext, factor, s)
+        wall = time.perf_counter() - started
+        # The nonce exponentiation happened offline (the pool paid for
+        # it); this call only performs the binomial expansion and the
+        # combine multiply.
+        muls = 2 * s + 1
+        limb_factor = ((s + 1) * self.key_bits / 64.0) ** 2
+        self.profiler.profile("encrypt.pooled").record(
+            muls, muls * limb_factor, wall
+        )
         return result
 
     def rerandomize(self, c: Ciphertext, rng) -> Ciphertext:
         started = time.perf_counter()
         result = super().rerandomize(c, rng)
         wall = time.perf_counter() - started
-        muls, work = pow_mul_estimate(self.n_pow(c.s), (c.s + 1) * self.key_bits)
-        self.profiler.profile("rerandomize").record(muls, work, wall)
+        limb_factor = ((c.s + 1) * self.key_bits / 64.0) ** 2
+        chain, tables = self._nonce_cost(c.s)
+        if tables:
+            self.profiler.profile("rerandomize.tables").record(
+                tables, tables * limb_factor, 0.0
+            )
+        muls = chain + 1  # the multiply into the existing ciphertext
+        self.profiler.profile("rerandomize").record(
+            muls, muls * limb_factor, wall
+        )
         return result
 
 
@@ -151,10 +196,23 @@ class ProfiledPrivateKey(PaillierPrivateKey):
         wall = time.perf_counter() - started
         key_bits = self.public_key.key_bits
         if path == "crt":
-            # Two half-size exponentiations with (prime - 1) exponents.
-            mp, wp = pow_mul_estimate(self.p - 1, (c.s + 1) * key_bits // 2)
-            mq, wq = pow_mul_estimate(self.q - 1, (c.s + 1) * key_bits // 2)
-            muls, work = mp + mq, wp + wq
+            # Two half-size exponentiations with (prime - 1) exponents —
+            # windowed through the cached per-prime plans when the fast
+            # paths are on.
+            half_factor = ((c.s + 1) * key_bits // 2 / 64.0) ** 2
+            if fastexp.enabled():
+                plan_p, plan_q = self.prime_plans()
+                muls = plan_p.chain_muls + plan_q.chain_muls
+                tables = plan_p.table_muls + plan_q.table_muls
+                if tables:
+                    self.profiler.profile("decrypt.crt.tables").record(
+                        tables, tables * half_factor, 0.0
+                    )
+                work = muls * half_factor
+            else:
+                mp, wp = pow_mul_estimate(self.p - 1, (c.s + 1) * key_bits // 2)
+                mq, wq = pow_mul_estimate(self.q - 1, (c.s + 1) * key_bits // 2)
+                muls, work = mp + mq, wp + wq
         else:
             muls, work = pow_mul_estimate(self.lam, (c.s + 1) * key_bits)
         self.profiler.profile(f"decrypt.{path}").record(muls, work, wall)

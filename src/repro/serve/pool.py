@@ -275,7 +275,11 @@ class BucketRunner:
             session = QuerySession(**kwargs)
         if self.registry is not None:
             keypair = group_keypair(config)
-            session.nonce_pool = self.registry.pool_for(keypair.public_key)
+            # The bucket owns the group's key pair, so its pool refills
+            # may run the half-width CRT-split path.
+            session.nonce_pool = self.registry.pool_for(
+                keypair.public_key, keypair.secret_key
+            )
         self._sessions[key] = session
         return session
 
@@ -507,6 +511,10 @@ class BucketRunner:
             self.obs.count("serve.cache.hits", stats.cache.hits)
             self.obs.count("serve.cache.misses", stats.cache.misses)
             self.obs.count("serve.pool.pooled", stats.pool.pooled)
+            self.obs.count("crypto.fastexp.windowed", stats.pool.windowed)
+            self.obs.count("crypto.fastexp.crt_split", stats.pool.crt_split)
+            self.obs.count("crypto.fastexp.fast_muls", stats.pool.fast_muls)
+            self.obs.count("crypto.fastexp.dry", stats.pool.dry)
             index_totals = IndexCounters()
             engines = [self.lsp.engine]
             if self._cluster is not None:

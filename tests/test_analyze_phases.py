@@ -188,8 +188,20 @@ class TestOpCounts:
         assert estimate["decrypt.crt"] == (
             counters["crypto.decryptions.crt"] * per_crt
         )
+        # Window-table builds are ledgered under their own classes; the
+        # total is the sum of every breakdown key.
+        per_tables = ledger.get("encrypt.tables", {}).get("bigint_muls", 0)
+        assert estimate["encrypt.tables"] == (
+            counters["crypto.encryptions"] * per_tables
+        )
+        per_crt_tables = ledger.get("decrypt.crt.tables", {}).get("bigint_muls", 0)
+        assert estimate["decrypt.crt.tables"] == (
+            counters["crypto.decryptions.crt"] * per_crt_tables
+        )
         assert estimate["total"] == (
             estimate["encrypt"]
+            + estimate["encrypt.tables"]
             + estimate["decrypt.crt"]
+            + estimate["decrypt.crt.tables"]
             + estimate["decrypt.generic"]
         )

@@ -285,3 +285,61 @@ class TestPerfCheck:
         assert document["config"]["seed"] == 7
         assert document["metrics"]["ops.modmuls_estimated"] > 0
         assert document["metrics"]["protocol.rounds"] >= 1
+
+
+class TestCryptoMicroSuite:
+    ARGS = ["perf-check", "--suite", "crypto", "--keysize", "256", "--seed", "9"]
+
+    def test_record_then_check_round_trips(self, capsys, tmp_path):
+        code = run_cli([*self.ARGS, "--record", "--baseline-dir", str(tmp_path)])
+        assert code == 0
+        assert (tmp_path / "crypto-256.json").exists()
+        capsys.readouterr()
+        assert run_cli([*self.ARGS, "--baseline-dir", str(tmp_path)]) == 0
+        assert "0 exact regression(s)" in capsys.readouterr().out
+
+    def test_counter_regression_fails_the_gate(self, capsys, tmp_path):
+        import json
+
+        assert (
+            run_cli([*self.ARGS, "--record", "--baseline-dir", str(tmp_path)])
+            == 0
+        )
+        path = tmp_path / "crypto-256.json"
+        document = json.loads(path.read_text())
+        document["metrics"]["ops.encrypt.bigint_muls"] -= 1
+        path.write_text(json.dumps(document))
+        capsys.readouterr()
+        assert run_cli([*self.ARGS, "--baseline-dir", str(tmp_path)]) == 1
+        assert "regressed ops.encrypt.bigint_muls" in capsys.readouterr().out
+
+    def test_digest_is_fixed_direction(self, capsys, tmp_path):
+        import json
+
+        assert (
+            run_cli([*self.ARGS, "--record", "--baseline-dir", str(tmp_path)])
+            == 0
+        )
+        path = tmp_path / "crypto-256.json"
+        document = json.loads(path.read_text())
+        document["metrics"]["answers.digest_mod"] += 1  # either direction fails
+        path.write_text(json.dumps(document))
+        capsys.readouterr()
+        assert run_cli([*self.ARGS, "--baseline-dir", str(tmp_path)]) == 1
+
+    def test_slow_baseline_improves_with_fast_paths(self, capsys, tmp_path):
+        from repro.crypto import fastexp
+
+        with fastexp.forced(False):
+            assert (
+                run_cli([*self.ARGS, "--record", "--baseline-dir", str(tmp_path)])
+                == 0
+            )
+        capsys.readouterr()
+        with fastexp.forced(True):
+            assert run_cli([*self.ARGS, "--baseline-dir", str(tmp_path)]) == 0
+        out = capsys.readouterr().out
+        assert "improved  ops.encrypt.bigint_muls" in out
+        assert "improved  ops.dot.bigint_muls" in out
+        assert "improved  ops.rerandomize.bigint_muls" in out
+        assert "0 exact regression(s)" in out

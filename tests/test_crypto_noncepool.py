@@ -207,3 +207,109 @@ class TestPoolStatsAndSharing:
         assert len(set(handed_out)) == len(handed_out), "a pooled factor was reused"
         for m, c in zip(plaintexts, ciphertexts, strict=True):
             assert sk.decrypt(c) == m
+
+
+class TestFastRefillPaths:
+    """Refill kernels: windowed for public pools, CRT-split for key owners."""
+
+    def test_refill_values_identical_across_kernels(self, kp):
+        from repro.crypto import fastexp
+
+        sk, pk = kp
+        factors = {}
+        for name, pool_args, flag in (
+            ("slow", (pk,), False),
+            ("windowed", (pk,), True),
+            ("crt", (pk, sk), True),
+        ):
+            with fastexp.forced(flag):
+                pool = NoncePool(*pool_args)
+                pool.refill(4, rng=random.Random(77))
+                factors[name] = [pool.take() for _ in range(4)]
+        assert factors["slow"] == factors["windowed"] == factors["crt"]
+
+    def test_stats_track_which_kernel_ran(self, kp):
+        from repro.crypto import fastexp
+
+        sk, pk = kp
+        with fastexp.forced(True):
+            public_pool = NoncePool(pk)
+            public_pool.refill(3, rng=random.Random(1))
+            assert public_pool.stats.windowed == 3
+            assert public_pool.stats.crt_split == 0
+            assert public_pool.stats.fast_muls > 0
+
+            owner_pool = NoncePool(pk, sk)
+            owner_pool.refill(2, rng=random.Random(1))
+            assert owner_pool.stats.crt_split == 2
+            assert owner_pool.stats.windowed == 0
+
+            merged = type(owner_pool.stats)()
+            merged.merge(public_pool.stats)
+            merged.merge(owner_pool.stats)
+            assert merged.windowed == 3 and merged.crt_split == 2
+            assert merged.fast_muls == (
+                public_pool.stats.fast_muls + owner_pool.stats.fast_muls
+            )
+
+    def test_slow_refill_ledgers_binary_estimate(self, kp):
+        from repro.crypto import fastexp
+        from repro.crypto.fastexp import binary_pow_cost
+
+        _, pk = kp
+        with fastexp.forced(False):
+            pool = NoncePool(pk)
+            pool.refill(2, rng=random.Random(1))
+            assert pool.stats.fast_muls == 2 * binary_pow_cost(pk.n)
+
+    def test_mismatched_secret_key_rejected(self, kp):
+        _, pk = kp
+        other = generate_keypair(128, seed=4321)
+        with pytest.raises(CryptoError):
+            NoncePool(pk, other.secret_key)
+        pool = NoncePool(pk)
+        with pytest.raises(CryptoError):
+            pool.attach_secret_key(other.secret_key)
+
+    def test_registry_attaches_secret_key_once(self, kp):
+        from repro.crypto.noncepool import NoncePoolRegistry
+
+        sk, pk = kp
+        registry = NoncePoolRegistry(seed=3)
+        pool = registry.pool_for(pk)
+        assert pool.secret_key is None
+        assert registry.pool_for(pk, sk) is pool
+        assert pool.secret_key is sk
+
+
+class TestPackedEncryption:
+    def test_roundtrip_spends_one_factor(self, kp):
+        from repro.crypto.noncepool import decrypt_packed, encrypt_packed
+
+        sk, pk = kp
+        pool = NoncePool(pk)
+        pool.refill(2, rng=random.Random(5))
+        fields = [17, 0, 255, 3]
+        c = encrypt_packed(pool, fields, 8)
+        assert decrypt_packed(sk, c, 8, len(fields)) == fields
+        assert pool.available() == 1  # one factor for four fields
+
+    def test_capacity_enforced(self, kp):
+        from repro.crypto.noncepool import encrypt_packed, packed_capacity
+
+        _, pk = kp
+        pool = NoncePool(pk)
+        capacity = packed_capacity(pk, 8)
+        assert capacity == (pk.key_bits - 1) // 8
+        with pytest.raises(CryptoError):
+            encrypt_packed(pool, [0] * (capacity + 1), 8)
+
+    def test_level_two_capacity_doubles(self, kp):
+        from repro.crypto.noncepool import decrypt_packed, encrypt_packed, packed_capacity
+
+        sk, pk = kp
+        assert packed_capacity(pk, 8, s=2) > packed_capacity(pk, 8)
+        pool = NoncePool(pk)
+        fields = list(range(20))
+        c = encrypt_packed(pool, fields, 8, s=2)
+        assert decrypt_packed(sk, c, 8, len(fields)) == fields

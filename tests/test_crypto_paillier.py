@@ -158,3 +158,124 @@ class TestCRTFastPath:
         inner = pk.encrypt(987654321, s=1, rng=rng)
         outer = pk.encrypt(inner.value, s=2, rng=rng)
         assert sk.decrypt_nested(outer) == 987654321
+
+
+class TestGPowProperty:
+    """Hypothesis: (1+N)^m via binomial expansion equals builtin pow."""
+
+    @settings(max_examples=30, deadline=None)
+    @given(
+        m=st.integers(min_value=0, max_value=(1 << 200) - 1),
+        s=st.sampled_from([1, 2, 3]),
+    )
+    def test_g_pow_matches_pow_at_all_levels(self, m, s):
+        _, pk = generate_keypair(128, seed=4242)
+        mod = pk.ciphertext_modulus(s)
+        assert pk.g_pow(m % pk.plaintext_modulus(s), s) == pow(
+            1 + pk.n, m % pk.plaintext_modulus(s), mod
+        )
+
+    @pytest.mark.parametrize("s", [1, 2, 3])
+    def test_g_pow_boundary_plaintexts(self, s):
+        _, pk = generate_keypair(128, seed=4242)
+        mod = pk.ciphertext_modulus(s)
+        for m in (0, pk.plaintext_modulus(s) - 1):
+            assert pk.g_pow(m, s) == pow(1 + pk.n, m, mod)
+
+
+class TestRandomUnit:
+    def test_returns_a_unit(self, keypair):
+        from math import gcd
+
+        _, pk = keypair
+        r = pk.random_unit(random.Random(8))
+        assert 1 <= r < pk.n and gcd(r, pk.n) == 1
+
+    def test_degenerate_modulus_raises_instead_of_spinning(self, keypair):
+        # An adversarial rng that only ever proposes multiples of p can
+        # never find a unit; the bounded loop must raise, not hang.
+        sk, pk = keypair
+
+        class StuckRng:
+            def randrange(self, lo, hi):
+                return sk.p
+
+        with pytest.raises(CryptoError):
+            pk.random_unit(StuckRng())
+
+
+class TestFactorialInverseDedup:
+    def test_extract_dlog_uses_shared_table(self, keypair):
+        # The decrypt recursion and modmath.factorial_inverse_table must
+        # be one implementation: the cached table equals modmath's.
+        from repro.crypto.modmath import factorial_inverse_table
+        from repro.crypto.paillier import _inv_fact_table
+
+        sk, pk = keypair
+        s = 3
+        c = pk.encrypt(123456789, s=s, rng=random.Random(2))
+        assert sk.decrypt(c) == 123456789
+        cached = _inv_fact_table(pk.n, s)
+        assert list(cached) == factorial_inverse_table(s, pk.n**s)
+
+    def test_table_cached_per_key_and_level(self, keypair):
+        from repro.crypto.paillier import _inv_fact_table
+
+        _, pk = keypair
+        assert _inv_fact_table(pk.n, 2) is _inv_fact_table(pk.n, 2)
+
+
+class TestFastPathEquivalence:
+    """Satellite (d): fastexp-vs-pow and pooled-vs-unpooled equality."""
+
+    @pytest.mark.parametrize("keysize", [1024, 2048])
+    def test_ciphertexts_identical_with_fast_paths_on_and_off(self, keysize):
+        from repro.crypto import fastexp
+
+        sk, pk = generate_keypair(keysize, seed=20260808)
+        values = {}
+        for flag in (True, False):
+            with fastexp.forced(flag):
+                rng = random.Random(31337)
+                c = pk.encrypt(424242, rng=rng)
+                r2 = pk.rerandomize(c, rng)
+                values[flag] = (c.value, r2.value)
+        assert values[True] == values[False]
+        assert sk.decrypt(
+            Ciphertext(values[True][1], 1, pk)
+        ) == 424242
+
+    @pytest.mark.parametrize("keysize", [1024, 2048])
+    def test_pooled_equals_unpooled_for_the_same_nonce(self, keysize):
+        sk, pk = generate_keypair(keysize, seed=20260808)
+        r = pk.random_unit(random.Random(99))
+        unpooled = pk.encrypt(7654321, rng=random.Random(99))
+        pooled = pk.encrypt_with_factor(7654321, pk.obfuscate(r))
+        assert pooled.value == unpooled.value
+        assert sk.decrypt(pooled) == 7654321
+
+    def test_obfuscate_matches_pow_across_levels(self, keypair):
+        from repro.crypto import fastexp
+
+        _, pk = keypair
+        rng = random.Random(4)
+        for s in (1, 2):
+            r = pk.random_unit(rng)
+            expected = pow(r, pk.n_pow(s), pk.ciphertext_modulus(s))
+            for flag in (True, False):
+                with fastexp.forced(flag):
+                    assert pk.obfuscate(r, s) == expected
+
+    def test_crt_pow_matches_pow(self, keypair):
+        sk, pk = keypair
+        rng = random.Random(12)
+        base = pk.random_unit(rng)
+        exponent = pk.n_pow(2)
+        assert sk.crt_pow(base, exponent, s=2) == pow(
+            base, exponent, pk.ciphertext_modulus(2)
+        )
+
+    def test_encrypt_with_factor_validates_range(self, keypair):
+        _, pk = keypair
+        with pytest.raises(CryptoError):
+            pk.encrypt_with_factor(pk.plaintext_modulus(1), 1)

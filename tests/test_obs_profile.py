@@ -112,3 +112,97 @@ class TestProfileSerialization:
         assert list(data) == ["decrypt.crt", "encrypt"]
         assert data["encrypt"]["calls"] == 2
         assert data["encrypt"]["bigint_muls"] == 3
+
+
+class TestHandCountedOps:
+    """Satellite fix: counters must equal hand-counted op costs."""
+
+    def test_secure_encrypt_charges_chain_plus_binomial_plus_combine(self):
+        from repro.crypto import fastexp
+
+        keys, profiler = profile_keypair(generate_keypair(128, seed=54321))
+        pk = keys.public_key
+        with fastexp.forced(True):
+            pk.encrypt(5, rng=random.Random(1))
+            plan = pk.nonce_plan(1)
+            # Hand count: windowed chain + 2s binomial muls + 1 combine.
+            assert profiler.ops["encrypt"].bigint_muls == plan.chain_muls + 2 + 1
+            # The odd-power table is charged apart from per-call work.
+            assert profiler.ops["encrypt.tables"].bigint_muls == plan.table_muls
+
+    def test_secure_encrypt_slow_path_uses_binary_model(self):
+        from repro.crypto import fastexp
+
+        keys, profiler = profile_keypair(generate_keypair(128, seed=54321))
+        pk = keys.public_key
+        with fastexp.forced(False):
+            pk.encrypt(5, rng=random.Random(1))
+            nonce_muls, _ = pow_mul_estimate(pk.n, 2 * pk.key_bits)
+            assert profiler.ops["encrypt"].bigint_muls == nonce_muls + 2 + 1
+            assert "encrypt.tables" not in profiler.ops
+
+    def test_secure_encrypt_level_two_charges_two_s_binomial_muls(self):
+        from repro.crypto import fastexp
+
+        keys, profiler = profile_keypair(generate_keypair(128, seed=54321))
+        pk = keys.public_key
+        with fastexp.forced(True):
+            pk.encrypt(5, s=2, rng=random.Random(1))
+            plan = pk.nonce_plan(2)
+            assert profiler.ops["encrypt"].bigint_muls == plan.chain_muls + 4 + 1
+
+    def test_pooled_encrypt_not_charged_a_nonce_exponentiation(self):
+        from repro.crypto.noncepool import NoncePool, encrypt_with_pool
+
+        keys, profiler = profile_keypair(generate_keypair(128, seed=54321))
+        pk = keys.public_key
+        pool = NoncePool(pk)
+        pool.refill(1, rng=random.Random(3))
+        c = encrypt_with_pool(pool, 9)
+        assert keys.secret_key.decrypt(c) == 9
+        # Only the 2s binomial muls + 1 combine; the exponentiation was
+        # paid offline by the refill.
+        assert profiler.ops["encrypt.pooled"].bigint_muls == 3
+        assert profiler.ops["encrypt.pooled"].calls == 1
+        assert "encrypt" not in profiler.ops
+
+    def test_rerandomize_charges_chain_plus_one(self):
+        from repro.crypto import fastexp
+
+        keys, profiler = profile_keypair(generate_keypair(128, seed=54321))
+        pk = keys.public_key
+        with fastexp.forced(True):
+            c = pk.encrypt(5, rng=random.Random(1))
+            pk.rerandomize(c, random.Random(2))
+            plan = pk.nonce_plan(1)
+            assert profiler.ops["rerandomize"].bigint_muls == plan.chain_muls + 1
+            assert (
+                profiler.ops["rerandomize.tables"].bigint_muls == plan.table_muls
+            )
+
+    def test_crt_decrypt_charges_windowed_prime_chains(self):
+        from repro.crypto import fastexp
+
+        keys, profiler = profile_keypair(generate_keypair(128, seed=54321))
+        with fastexp.forced(True):
+            c = keys.public_key.encrypt(5, rng=random.Random(1))
+            keys.secret_key.decrypt(c)
+            plan_p, plan_q = keys.secret_key.prime_plans()
+            assert (
+                profiler.ops["decrypt.crt"].bigint_muls
+                == plan_p.chain_muls + plan_q.chain_muls
+            )
+            assert (
+                profiler.ops["decrypt.crt.tables"].bigint_muls
+                == plan_p.table_muls + plan_q.table_muls
+            )
+
+    def test_fast_encrypt_cheaper_than_binary_model(self):
+        from repro.crypto import fastexp
+
+        keys, _ = profile_keypair(generate_keypair(128, seed=54321))
+        pk = keys.public_key
+        with fastexp.forced(True):
+            plan = pk.nonce_plan(1)
+            binary, _ = pow_mul_estimate(pk.n, 2 * pk.key_bits)
+            assert plan.per_call_muls < binary
