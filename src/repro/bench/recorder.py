@@ -45,11 +45,22 @@ def git_sha(cwd: str | Path | None = None) -> str:
 
 
 class SeriesRecorder:
-    """Writes experiment series to ``<directory>/<experiment>.txt``."""
+    """Writes experiment series to ``<directory>/<experiment>.txt``.
 
-    def __init__(self, directory: str | Path) -> None:
+    ``series_dir`` locates the cross-commit run ledger
+    (:class:`repro.obs.series.RunLedger`); it defaults to the sibling
+    ``series/`` of the results directory, matching the committed layout
+    (``benchmarks/results/`` next to ``benchmarks/series/``).
+    """
+
+    def __init__(
+        self, directory: str | Path, series_dir: str | Path | None = None
+    ) -> None:
         self.directory = Path(directory)
         self.directory.mkdir(parents=True, exist_ok=True)
+        if series_dir is None:
+            series_dir = self.directory.parent / "series"
+        self.series_dir = Path(series_dir)
         self._opened: set[str] = set()
 
     def _path(self, experiment: str) -> Path:
@@ -109,7 +120,10 @@ class SeriesRecorder:
                 raise ReproError(
                     f"{path} holds a schema v{existing} record; this library "
                     f"writes v{RECORD_SCHEMA_VERSION}.  Refusing to silently "
-                    "overwrite — delete the file or pass force=True."
+                    "overwrite — delete the file or pass force=True.  (The "
+                    "old run is not lost either way: every record_json also "
+                    "appends to the append-only ledger under "
+                    f"{self.series_dir} — see `repro trend`.)"
                 )
         document = {
             "schema_version": RECORD_SCHEMA_VERSION,
@@ -124,6 +138,12 @@ class SeriesRecorder:
         with open(path, "w") as handle:
             json.dump(document, handle, indent=2, sort_keys=True)
             handle.write("\n")
+        # The BENCH json is a one-run snapshot; the same run also lands in
+        # the append-only cross-commit ledger so `repro trend` keeps the
+        # history the overwrite above discards.
+        from repro.obs.series import RunLedger, record_from_bench_document
+
+        RunLedger(self.series_dir).append(record_from_bench_document(document))
         return path
 
     def note(self, experiment: str, text: str) -> None:

@@ -31,6 +31,7 @@ from typing import Mapping
 
 from repro.bench.recorder import git_sha
 from repro.errors import ConfigurationError, PerfRegressionError, ReproError
+from repro.obs.series import LedgerRecord, RunLedger, ledger_stamp
 
 #: Version of the baseline file layout; bump on breaking changes.
 BASELINE_SCHEMA_VERSION = 1
@@ -323,8 +324,18 @@ _STATUS_BADGE = {
 }
 
 
-def render_markdown(comparisons: list[BaselineComparison]) -> str:
-    """The regression report CI uploads as a job artifact."""
+def render_markdown(
+    comparisons: list[BaselineComparison],
+    ledger_records: list[LedgerRecord] | None = None,
+) -> str:
+    """The regression report CI uploads as a job artifact.
+
+    When ``ledger_records`` are given, one machine-readable ledger stamp
+    per record is embedded at the end of the document (invisible HTML
+    comments), so ``repro trend --append report.md`` recovers the suite
+    name and config digest from *inside* the report — a saved report can
+    never be mis-filed into the wrong suite or lineage.
+    """
     lines = ["# Performance sentinel report", ""]
     overall = all(c.ok for c in comparisons)
     lines.append(
@@ -359,6 +370,10 @@ def render_markdown(comparisons: list[BaselineComparison]) -> str:
                 f"{delta.status} |"
             )
     lines.append("")
+    if ledger_records:
+        for record in ledger_records:
+            lines.append(ledger_stamp(record))
+        lines.append("")
     return "\n".join(lines)
 
 
@@ -413,7 +428,12 @@ class BenchSentinel:
     - ``REPRO_BENCH_CHECK_BASELINE=1``  — compare and *raise*
       :class:`~repro.errors.PerfRegressionError` on exact regressions;
     - ``REPRO_BENCH_BASELINE_DIR``      — store location override;
-    - ``REPRO_BENCH_TOLERANCE``         — timing relative tolerance.
+    - ``REPRO_BENCH_TOLERANCE``         — timing relative tolerance;
+    - ``REPRO_BENCH_SERIES_DIR``        — run-ledger location override.
+
+    Every armed :meth:`gate` call also appends the run into the
+    cross-commit ledger (``benchmarks/series/``) — on regressions too,
+    *before* raising, so the history records the offending run.
     """
 
     def __init__(
@@ -422,6 +442,7 @@ class BenchSentinel:
         record: bool = False,
         check: bool = False,
         rel_tolerance: float = 0.25,
+        series_dir: str | Path | None = None,
     ) -> None:
         if record and check:
             raise ConfigurationError(
@@ -432,6 +453,9 @@ class BenchSentinel:
         self.check = check
         self.rel_tolerance = rel_tolerance
         self.comparisons: list[BaselineComparison] = []
+        if series_dir is None:
+            series_dir = Path(store.directory).parent / "series"
+        self.ledger = RunLedger(series_dir)
 
     @classmethod
     def from_env(cls, default_dir: str | Path) -> "BenchSentinel":
@@ -442,6 +466,7 @@ class BenchSentinel:
             record=os.environ.get("REPRO_BENCH_RECORD_BASELINE", "") == "1",
             check=os.environ.get("REPRO_BENCH_CHECK_BASELINE", "") == "1",
             rel_tolerance=float(os.environ.get("REPRO_BENCH_TOLERANCE", "0.25")),
+            series_dir=os.environ.get("REPRO_BENCH_SERIES_DIR") or None,
         )
 
     @property
@@ -464,11 +489,22 @@ class BenchSentinel:
         """
         if not self.armed:
             return None
+        sha = git_sha(self.store.directory)
+        self.ledger.append(
+            LedgerRecord(
+                suite=experiment,
+                git_sha=sha,
+                metrics=dict(metrics),
+                keysize=keysize,
+                config=dict(config) if config is not None else {},
+                source="sentinel",
+            )
+        )
         if self.record:
             record = BaselineRecord(
                 experiment=experiment,
                 metrics=dict(metrics),
-                git_sha=git_sha(self.store.directory),
+                git_sha=sha,
                 keysize=keysize,
                 config=dict(config) if config is not None else {},
             )
@@ -482,6 +518,7 @@ class BenchSentinel:
                 baseline, metrics, self.rel_tolerance
             )
             if not comparison.ok:
+                self.comparisons.append(comparison)
                 raise PerfRegressionError(
                     experiment, comparison.exact_regressions
                 )

@@ -22,7 +22,11 @@ Installed as the ``repro`` console script:
 - ``repro perf-check`` — the performance sentinel: run a pinned
   per-protocol workload, record (``--record``) or check its exact
   counters and timings against ``benchmarks/baselines/``, and exit
-  nonzero when an exact counter regressed.
+  nonzero when an exact counter regressed,
+- ``repro trend`` — the cross-commit run ledger: append perf-check
+  reports, bench documents, or baselines into ``benchmarks/series/``
+  (``--append``), render the sparkline trend dashboard (``--report``),
+  and gate on unexplained exact-counter changepoints (``--check``).
 """
 
 from __future__ import annotations
@@ -307,6 +311,11 @@ def build_parser() -> argparse.ArgumentParser:
         "--queue-budget", type=float, default=None, metavar="SECONDS",
         help="mean simulated queue-wait budget",
     )
+    analyze.add_argument(
+        "--exemplars", action="store_true",
+        help="resolve histogram exemplars in a --report into rendered "
+        "span traces (requires a report produced with exemplars enabled)",
+    )
 
     perf = sub.add_parser(
         "perf-check",
@@ -349,6 +358,49 @@ def build_parser() -> argparse.ArgumentParser:
     perf.add_argument(
         "--report-out", metavar="FILE", default=None,
         help="write the markdown regression report here",
+    )
+
+    trend = sub.add_parser(
+        "trend",
+        help="append runs to the cross-commit perf ledger and analyze trends",
+    )
+    trend.add_argument(
+        "--series-dir", default="benchmarks/series",
+        help="ledger location (one append-only JSONL file per suite)",
+    )
+    trend.add_argument(
+        "--append", action="append", metavar="FILE", default=None,
+        help="append ledger records parsed from this file — a perf-check "
+        "markdown report (embedded ledger stamps), a baseline JSON, a "
+        "BENCH_*.json document, or a raw ledger JSONL fragment (repeatable)",
+    )
+    trend.add_argument(
+        "--accept", action="append", metavar="METRIC", default=None,
+        help="mark this exact metric's movement in the appended records as "
+        "explained; accepted steps never fail --check (repeatable)",
+    )
+    trend.add_argument(
+        "--suite", action="append", metavar="SUITE", default=None,
+        help="restrict --check/--report to these suites (repeatable; "
+        "default: every suite with a ledger file)",
+    )
+    trend.add_argument(
+        "--check", action="store_true",
+        help="exit 1 on unexplained exact-counter regressions",
+    )
+    trend.add_argument(
+        "--report", nargs="?", const="BENCH_TRENDS.md", default=None,
+        metavar="FILE",
+        help="render the markdown trend dashboard (default: BENCH_TRENDS.md)",
+    )
+    trend.add_argument(
+        "--window", type=int, default=8,
+        help="trailing records in the rolling timing tolerance band",
+    )
+    trend.add_argument(
+        "--allow-truncated", action="store_true",
+        help="recover a ledger whose last line was cut off by a killed "
+        "append instead of erroring",
     )
     return parser
 
@@ -679,9 +731,18 @@ def _cmd_analyze(args: argparse.Namespace) -> int:
         parse_jsonl,
         render_attribution,
     )
-    from repro.obs.analyze import analyze_serve_report, load_report_document
+    from repro.obs.analyze import (
+        analyze_serve_report,
+        load_report_document,
+        render_exemplars,
+    )
 
     if args.input is not None:
+        if args.exemplars:
+            raise ReproError(
+                "--exemplars reads histogram exemplars from a serving "
+                "report; use --report, not --input"
+            )
         with open(args.input, encoding="utf-8") as fh:
             spans = parse_jsonl(
                 fh.read(), allow_truncated_tail=args.allow_truncated
@@ -704,6 +765,10 @@ def _cmd_analyze(args: argparse.Namespace) -> int:
         report = load_report_document(fh.read())
     rendered = analyze_serve_report(report, policy=_analyze_policy(args))
     print(rendered)
+    if args.exemplars:
+        print()
+        print("exemplars:")
+        print(render_exemplars(report))
     policy = _analyze_policy(args)
     if policy is not None:
         from repro.obs import evaluate_slo
@@ -713,15 +778,20 @@ def _cmd_analyze(args: argparse.Namespace) -> int:
     return 0
 
 
-def _perf_metrics(protocol: str, args: argparse.Namespace) -> dict[str, float]:
+def _perf_metrics(
+    protocol: str, args: argparse.Namespace
+) -> tuple[dict[str, float], dict[str, int]]:
     """Run one pinned query and distill it into sentinel metrics.
 
     Everything under ``ops.`` / ``comm.`` / ``protocol.`` / ``answers.``
     is a deterministic function of the seeded workload (exact, zero
     tolerance); ``time.*`` is wall clock (relative tolerance only).
+    Returns the metrics alongside the traced phase breakdown (the
+    ``repro analyze`` attribution), which rides into the run ledger so
+    trend changepoints can name the phase the offending commit spent in.
     """
     from repro.core.common import group_keypair
-    from repro.obs import Observability, estimate_modmuls
+    from repro.obs import Observability, attribute_phases, estimate_modmuls
 
     config = PPGNNConfig(
         d=args.d,
@@ -740,6 +810,7 @@ def _perf_metrics(protocol: str, args: argparse.Namespace) -> dict[str, float]:
     rounds = sum(
         1 for span in obs.tracer.spans() if span.name.startswith("round.")
     )
+    phases = attribute_phases(obs.tracer.spans()).ticks
     return {
         "ops.encryptions": counters.get("crypto.encryptions", 0),
         "ops.decryptions.crt": counters.get("crypto.decryptions.crt", 0),
@@ -756,7 +827,7 @@ def _perf_metrics(protocol: str, args: argparse.Namespace) -> dict[str, float]:
         "index.candidates_scored": lsp.engine.index_counters.candidates_scored,
         "time.user_seconds": round(result.report.user_cost_seconds, 6),
         "time.lsp_seconds": round(result.report.lsp_cost_seconds, 6),
-    }
+    }, phases
 
 
 def _crypto_micro_metrics(args: argparse.Namespace) -> dict[str, float]:
@@ -959,6 +1030,7 @@ def _cmd_perf_check(args: argparse.Namespace) -> int:
         compare_to_baseline,
         render_markdown,
     )
+    from repro.obs.series import LedgerRecord
 
     store = BaselineStore(args.baseline_dir)
     if args.suite == "crypto":
@@ -976,11 +1048,24 @@ def _cmd_perf_check(args: argparse.Namespace) -> int:
         runs = list(args.protocols)
     sha = git_sha()
     comparisons = []
+    ledger_records = []
     for experiment in runs:
         if args.suite == "crypto":
             metrics = _crypto_micro_metrics(args)
+            phases: dict[str, int] = {}
         else:
-            metrics = _perf_metrics(experiment, args)
+            metrics, phases = _perf_metrics(experiment, args)
+        ledger_records.append(
+            LedgerRecord(
+                suite=experiment,
+                git_sha=sha,
+                metrics=metrics,
+                keysize=args.keysize,
+                config=workload,
+                phases=phases or None,
+                source="perf-check",
+            )
+        )
         if args.record:
             record = BaselineRecord(
                 experiment=experiment,
@@ -1027,7 +1112,7 @@ def _cmd_perf_check(args: argparse.Namespace) -> int:
             )
     if args.report_out:
         with open(args.report_out, "w", encoding="utf-8") as fh:
-            fh.write(render_markdown(comparisons))
+            fh.write(render_markdown(comparisons, ledger_records))
         print(f"report: {args.report_out}")
     if args.record:
         return 0
@@ -1035,6 +1120,53 @@ def _cmd_perf_check(args: argparse.Namespace) -> int:
     if args.fail_on_timing:
         failed = failed or any(c.timing_regressions for c in comparisons)
     return 1 if failed else 0
+
+
+def _cmd_trend(args: argparse.Namespace) -> int:
+    import dataclasses
+
+    from repro.obs.series import RunLedger, records_from_text
+    from repro.obs.trend import check_ledger, render_check, render_trends
+
+    ledger = RunLedger(args.series_dir)
+    appended = 0
+    for source in args.append or []:
+        with open(source, encoding="utf-8") as fh:
+            records = records_from_text(fh.read())
+        if not records:
+            raise ReproError(f"{source}: no appendable records found")
+        for record in records:
+            if args.accept:
+                record = dataclasses.replace(
+                    record,
+                    accepted=tuple(
+                        sorted(set(record.accepted) | set(args.accept))
+                    ),
+                )
+            stored, was_new = ledger.append(
+                record, allow_truncated_tail=args.allow_truncated
+            )
+            state = "appended" if was_new else "already recorded"
+            print(
+                f"{state}: {stored.suite} @ {stored.git_sha[:12]} "
+                f"(config {stored.config_digest}, seq {stored.seq})"
+            )
+            appended += 1 if was_new else 0
+    if args.append:
+        print(f"{appended} new record(s) under {args.series_dir}")
+    if args.report is not None:
+        dashboard = render_trends(ledger, suites=args.suite, window=args.window)
+        with open(args.report, "w", encoding="utf-8") as fh:
+            fh.write(dashboard)
+        print(f"trend dashboard: {args.report}")
+    if args.check:
+        check = check_ledger(ledger, suites=args.suite, window=args.window)
+        print(render_check(check))
+        return 0 if check.ok else 1
+    if not args.append and args.report is None:
+        # Bare `repro trend`: print the dashboard instead of writing it.
+        print(render_trends(ledger, suites=args.suite, window=args.window))
+    return 0
 
 
 _COMMANDS = {
@@ -1047,6 +1179,7 @@ _COMMANDS = {
     "trace": _cmd_trace,
     "analyze": _cmd_analyze,
     "perf-check": _cmd_perf_check,
+    "trend": _cmd_trend,
 }
 
 

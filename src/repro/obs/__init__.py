@@ -32,6 +32,7 @@ from repro.obs.analyze import (
     normalized_ops,
     queue_delay_summary,
     render_attribution,
+    render_exemplars,
     self_ticks,
 )
 from repro.obs.metrics import (
@@ -50,6 +51,15 @@ from repro.obs.profile import (
     pow_mul_estimate,
     profile_keypair,
 )
+from repro.obs.series import (
+    LEDGER_SCHEMA_VERSION,
+    LedgerRecord,
+    RunLedger,
+    config_digest,
+    ledger_stamp,
+    parse_ledger_jsonl,
+    records_from_text,
+)
 from repro.obs.trace import (
     Span,
     Tracer,
@@ -59,6 +69,12 @@ from repro.obs.trace import (
     slowest_path,
     validate_spans,
 )
+
+# NOTE: repro.obs.trend is deliberately NOT re-exported here — it imports
+# repro.bench.sentinel at module level (for the metric taxonomy), and
+# sentinel imports repro.obs.series; pulling trend into this package
+# __init__ would close that loop into a circular import.  Import it as
+# ``from repro.obs.trend import ...`` directly.
 
 
 @dataclass
@@ -99,11 +115,13 @@ def maybe_span(obs: Observability | None, name: str, **attrs):
 
 __all__ = [
     "DEFAULT_BUCKETS",
+    "LEDGER_SCHEMA_VERSION",
     "PHASES",
     "Counter",
     "Gauge",
     "Histogram",
     "KeyProfiler",
+    "LedgerRecord",
     "MetricsRegistry",
     "MetricsSnapshot",
     "Observability",
@@ -112,6 +130,7 @@ __all__ = [
     "ProfiledPrivateKey",
     "ProfiledPublicKey",
     "QueueDelaySummary",
+    "RunLedger",
     "SLOPolicy",
     "SLOReport",
     "SLOResult",
@@ -121,17 +140,22 @@ __all__ = [
     "attribute_phases",
     "attribute_phases_by_protocol",
     "classify_phase",
+    "config_digest",
     "critical_path",
     "estimate_modmuls",
     "evaluate_slo",
+    "ledger_stamp",
     "maybe_span",
     "merge_span_groups",
     "normalized_ops",
     "parse_jsonl",
+    "parse_ledger_jsonl",
     "pow_mul_estimate",
     "profile_keypair",
     "queue_delay_summary",
+    "records_from_text",
     "render_attribution",
+    "render_exemplars",
     "render_span_tree",
     "self_ticks",
     "slowest_path",

@@ -558,6 +558,15 @@ def analyze_serve_report(
     data = _report_dict(report)
     sections: list[str] = []
     obs = data.get("obs")
+    counters = (obs or {}).get("metrics", {}).get("counters", {})
+    dropped = counters.get("obs.trace.spans_dropped", 0)
+    if dropped:
+        sections.append(
+            f"WARNING: {int(dropped)} span(s) dropped by the trace ring "
+            "buffer — attribution, critical paths, and exemplar links "
+            "below describe a truncated trace; raise trace_capacity to "
+            "capture the full run"
+        )
     if obs and obs.get("spans"):
         spans = [Span.from_dict(item) for item in obs["spans"]]
         sections.append(render_attribution(spans))
@@ -568,7 +577,6 @@ def analyze_serve_report(
         )
     sections.append(queue_delay_summary(data).render())
     completed = data.get("completed", 0)
-    counters = (obs or {}).get("metrics", {}).get("counters", {})
     if counters and completed:
         ops = normalized_ops(counters, completed)
         if ops:
@@ -613,3 +621,79 @@ def load_report_document(text: str) -> dict:
         "no serving report found in document (expected to_dict() output "
         "or a BENCH_*.json envelope containing one)"
     )
+
+
+def render_exemplars(report) -> str:
+    """Resolve histogram exemplars into rendered span traces.
+
+    For every histogram bucket that recorded an exemplar (the span id of
+    its worst observation), looks the span up in the report's embedded
+    trace and renders its subtree — the ``repro analyze --exemplars``
+    view that turns "p99 regressed" into "here is the exact query that
+    landed in that bucket, slowest path flagged".
+    """
+    from repro.obs.trace import render_span_tree
+
+    data = _report_dict(report)
+    obs = data.get("obs")
+    if not obs:
+        raise ReproError(
+            "report embeds no obs payload; run with observability enabled "
+            "(e.g. serve-bench --obs)"
+        )
+    histograms = obs.get("metrics", {}).get("histograms", {})
+    exemplared = {
+        name: hist for name, hist in histograms.items() if hist.get("exemplars")
+    }
+    if not exemplared:
+        raise ReproError(
+            "no exemplars recorded in this report; enable them with "
+            "ServeConfig(exemplars=True) (they are off by default to keep "
+            "reports byte-identical)"
+        )
+    spans = [Span.from_dict(item) for item in obs.get("spans", [])]
+    by_id = {span.span_id: span for span in spans}
+    children: dict[int | None, list[Span]] = {}
+    for span in spans:
+        children.setdefault(span.parent_id, []).append(span)
+
+    sections: list[str] = []
+    for name in sorted(exemplared):
+        hist = exemplared[name]
+        bounds = list(hist.get("buckets", []))
+        for bucket_key in sorted(hist["exemplars"], key=int):
+            entry = hist["exemplars"][bucket_key]
+            index = int(bucket_key)
+            label = (
+                f"<= {bounds[index]:g}" if index < len(bounds) else "overflow"
+            )
+            header = (
+                f"{name} bucket {label}: worst value {entry['value']:g}, "
+                f"exemplar span {entry['span']}"
+            )
+            root = by_id.get(entry["span"])
+            if root is None:
+                sections.append(
+                    header + " (span missing from the trace — the ring "
+                    "buffer dropped it; raise trace_capacity)"
+                )
+                continue
+            # Render the exemplar's subtree as its own rooted forest.
+            subtree = [
+                Span(
+                    span_id=root.span_id,
+                    parent_id=None,
+                    name=root.name,
+                    start=root.start,
+                    end=root.end,
+                    attrs=dict(root.attrs),
+                )
+            ]
+            frontier = [root.span_id]
+            while frontier:
+                parent = frontier.pop()
+                for child in children.get(parent, []):
+                    subtree.append(child)
+                    frontier.append(child.span_id)
+            sections.append(header + "\n" + render_span_tree(subtree))
+    return "\n\n".join(sections)

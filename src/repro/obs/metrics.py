@@ -69,7 +69,7 @@ class Histogram:
     No numpy, no quantile estimation — exact counts only.
     """
 
-    __slots__ = ("buckets", "counts", "overflow", "total", "count")
+    __slots__ = ("buckets", "counts", "overflow", "total", "count", "exemplars")
 
     def __init__(self, buckets: tuple[float, ...] = DEFAULT_BUCKETS) -> None:
         if not buckets or list(buckets) != sorted(buckets):
@@ -79,28 +79,56 @@ class Histogram:
         self.overflow = 0
         self.total = 0.0
         self.count = 0
+        # Bucket index (len(buckets) = the overflow bucket) → the worst
+        # observation that landed there, as (value, exemplar span id).
+        self.exemplars: dict[int, tuple[float, int]] = {}
 
-    def observe(self, value: float) -> None:
-        self.count += 1
-        self.total += value
+    def _bucket_index(self, value: float) -> int:
         for i, bound in enumerate(self.buckets):
             if value <= bound:
-                self.counts[i] += 1
-                return
-        self.overflow += 1
+                return i
+        return len(self.buckets)
+
+    def observe(self, value: float, exemplar: int | None = None) -> None:
+        self.count += 1
+        self.total += value
+        index = self._bucket_index(value)
+        if index == len(self.buckets):
+            self.overflow += 1
+        else:
+            self.counts[index] += 1
+        if exemplar is not None:
+            self._keep_exemplar(index, value, exemplar)
+
+    def _keep_exemplar(self, index: int, value: float, exemplar: int) -> None:
+        """Retain the bucket's worst (value, span) pair, order-invariant."""
+        current = self.exemplars.get(index)
+        if current is None or (value, exemplar) > current:
+            self.exemplars[index] = (value, exemplar)
 
     @property
     def mean(self) -> float:
         return self.total / self.count if self.count else 0.0
 
     def to_dict(self) -> dict:
-        return {
+        data = {
             "buckets": list(self.buckets),
             "counts": list(self.counts),
             "overflow": self.overflow,
             "total": round(self.total, 9),
             "count": self.count,
         }
+        if self.exemplars:
+            # Emitted only when populated: a histogram that never saw an
+            # exemplar serializes byte-identically to every prior release.
+            data["exemplars"] = {
+                str(index): {
+                    "value": round(self.exemplars[index][0], 9),
+                    "span": self.exemplars[index][1],
+                }
+                for index in sorted(self.exemplars)
+            }
+        return data
 
 
 @dataclass(frozen=True)
@@ -196,3 +224,7 @@ class MetricsRegistry:
             histogram.overflow += data["overflow"]
             histogram.total += data["total"]
             histogram.count += data["count"]
+            for bucket, entry in data.get("exemplars", {}).items():
+                histogram._keep_exemplar(
+                    int(bucket), entry["value"], entry["span"]
+                )

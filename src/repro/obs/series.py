@@ -1,0 +1,436 @@
+"""The append-only cross-commit run ledger.
+
+One JSONL file per suite under ``benchmarks/series/<suite>.jsonl``; each
+line is one run of that suite at one commit — exact counters, timing
+summaries, the phase breakdown ``repro analyze`` would print for the run,
+and (optionally) the full observability metrics snapshot, exemplars
+included.  The ledger is the longitudinal companion to the baseline
+store: a baseline answers *"did this run regress against the frozen
+record?"*, the ledger answers *"when did this counter move, and what was
+the run doing at that commit?"*.
+
+Contracts:
+
+- **Append-only.**  Records are only ever added; a re-run at an already
+  recorded ``(git_sha, config_digest)`` is an idempotent no-op, so CI
+  retries and local replays never duplicate history.
+- **Schema-versioned.**  Every line carries ``schema_version``; foreign
+  versions are refused loudly instead of being misread.
+- **Ordered by ``seq``.**  Append assigns a monotone sequence number, so
+  analytics (:mod:`repro.obs.trend`) are invariant to how the file's
+  lines are later shuffled, merged, or partially recovered.
+- **Crash-tolerant.**  :func:`parse_ledger_jsonl` follows the same error
+  taxonomy as :func:`repro.obs.trace.parse_jsonl`: a truncated *last*
+  line (killed run) is recoverable on request, garbage in the middle of
+  the file always raises with the offending line number.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Iterable, Mapping, Sequence
+
+from repro.errors import ReproError
+
+#: Version of the ledger line layout; bump on breaking changes.
+LEDGER_SCHEMA_VERSION = 1
+
+#: Marker embedded in perf-check markdown reports: one machine-readable
+#: ledger record per experiment, so ``repro trend --append report.md``
+#: can never mis-file a suite (the suite name and config digest travel
+#: *inside* the document, not in its filename).
+LEDGER_STAMP_PREFIX = "<!-- repro-ledger: "
+LEDGER_STAMP_SUFFIX = " -->"
+
+
+def config_digest(config: Mapping | None) -> str:
+    """A short stable digest of a workload configuration dict."""
+    canonical = json.dumps(
+        dict(config) if config else {}, sort_keys=True, separators=(",", ":")
+    )
+    return hashlib.sha256(canonical.encode()).hexdigest()[:12]
+
+
+@dataclass
+class LedgerRecord:
+    """One suite run at one commit, as stored on a ledger line.
+
+    ``metrics`` is the flat sentinel-style name→value mapping (exact
+    counters and timing summaries); ``phases`` is the per-phase tick
+    breakdown of the run's trace (the ``repro analyze`` attribution),
+    carried so a later changepoint can say *which phase* the offending
+    commit was spending in; ``obs`` is the full metrics snapshot dict
+    (histograms with exemplars ride here); ``accepted`` names metrics
+    whose regression at this record is explained and must not fail
+    ``repro trend --check``.
+    """
+
+    suite: str
+    git_sha: str
+    metrics: dict[str, float]
+    config_digest: str = ""
+    seq: int = -1
+    keysize: int | None = None
+    config: dict = field(default_factory=dict)
+    phases: dict[str, int] | None = None
+    quality: dict[str, float] | None = None
+    obs: dict | None = None
+    accepted: tuple[str, ...] = ()
+    source: str = "manual"
+    schema_version: int = LEDGER_SCHEMA_VERSION
+
+    def __post_init__(self) -> None:
+        if not self.suite or not isinstance(self.suite, str):
+            raise ReproError("ledger record needs a non-empty suite name")
+        if not self.git_sha or not isinstance(self.git_sha, str):
+            raise ReproError("ledger record needs a non-empty git_sha")
+        if not self.config_digest:
+            self.config_digest = config_digest(self.config)
+        self.accepted = tuple(self.accepted)
+        for name, value in self.metrics.items():
+            if isinstance(value, bool) or not isinstance(value, (int, float)):
+                raise ReproError(
+                    f"ledger metric {name!r} must be numeric, got {value!r}"
+                )
+
+    def to_dict(self) -> dict:
+        data = {
+            "schema_version": self.schema_version,
+            "suite": self.suite,
+            "git_sha": self.git_sha,
+            "config_digest": self.config_digest,
+            "seq": self.seq,
+            "keysize": self.keysize,
+            "config": {k: self.config[k] for k in sorted(self.config)},
+            "metrics": {k: self.metrics[k] for k in sorted(self.metrics)},
+            "source": self.source,
+        }
+        if self.phases is not None:
+            data["phases"] = {k: self.phases[k] for k in sorted(self.phases)}
+        if self.quality is not None:
+            data["quality"] = {k: self.quality[k] for k in sorted(self.quality)}
+        if self.obs is not None:
+            data["obs"] = self.obs
+        if self.accepted:
+            data["accepted"] = sorted(self.accepted)
+        return data
+
+    @classmethod
+    def from_dict(cls, data: Mapping) -> "LedgerRecord":
+        try:
+            return cls(
+                suite=data["suite"],
+                git_sha=data["git_sha"],
+                metrics=dict(data["metrics"]),
+                config_digest=data.get("config_digest", ""),
+                seq=data.get("seq", -1),
+                keysize=data.get("keysize"),
+                config=dict(data.get("config", {})),
+                phases=dict(data["phases"]) if data.get("phases") else None,
+                quality=dict(data["quality"]) if data.get("quality") else None,
+                obs=data.get("obs"),
+                accepted=tuple(data.get("accepted", ())),
+                source=data.get("source", "manual"),
+                schema_version=data.get("schema_version", 0),
+            )
+        except (KeyError, TypeError, ValueError, AttributeError) as exc:
+            raise ReproError(f"malformed ledger record: {exc}") from exc
+
+
+def _record_from_line(data: object, line_no: int) -> LedgerRecord:
+    """One decoded JSONL line → a schema-checked :class:`LedgerRecord`."""
+    if not isinstance(data, dict):
+        raise ReproError(
+            f"ledger line {line_no} is valid JSON but not a record object "
+            f"(got {type(data).__name__}); was this file written by "
+            "interleaved processes?"
+        )
+    record = LedgerRecord.from_dict(data)
+    if record.schema_version != LEDGER_SCHEMA_VERSION:
+        raise ReproError(
+            f"ledger line {line_no} has schema v{record.schema_version}, "
+            f"this library reads v{LEDGER_SCHEMA_VERSION}; convert or "
+            "re-append it"
+        )
+    if not isinstance(record.seq, int) or isinstance(record.seq, bool):
+        raise ReproError(
+            f"ledger line {line_no} field 'seq' must be an integer, "
+            f"got {record.seq!r}"
+        )
+    return record
+
+
+def parse_ledger_jsonl(
+    text: str, allow_truncated_tail: bool = False
+) -> list[LedgerRecord]:
+    """Inverse of the ledger's line format (blank lines ignored).
+
+    A killed append can leave a *partial last line* behind; that line
+    does not decode, and the error says so explicitly instead of a
+    generic parse failure.  With ``allow_truncated_tail=True`` the
+    partial tail is dropped and the intact prefix is returned — the same
+    recovery taxonomy as :func:`repro.obs.trace.parse_jsonl`.
+    Truncation forgiveness only ever applies to the final non-blank
+    line; garbage in the middle of the file always raises.
+    """
+    records: list[LedgerRecord] = []
+    lines = text.splitlines()
+    last_line_no = max(
+        (i for i, line in enumerate(lines, start=1) if line.strip()), default=0
+    )
+    for line_no, line in enumerate(lines, start=1):
+        if not line.strip():
+            continue
+        try:
+            data = json.loads(line)
+        except json.JSONDecodeError as exc:
+            if line_no == last_line_no:
+                if allow_truncated_tail:
+                    break
+                raise ReproError(
+                    f"ledger line {line_no} (the last line) is truncated — "
+                    "likely a killed append; re-run with --allow-truncated "
+                    f"to keep the intact prefix ({exc})"
+                ) from exc
+            raise ReproError(
+                f"ledger line {line_no} does not parse: {exc}"
+            ) from exc
+        records.append(_record_from_line(data, line_no))
+    return records
+
+
+def sort_records(records: Iterable[LedgerRecord]) -> list[LedgerRecord]:
+    """Records in append order, regardless of file-line order."""
+    return sorted(records, key=lambda r: (r.seq, r.git_sha, r.config_digest))
+
+
+class RunLedger:
+    """``benchmarks/series/`` as an append-only per-suite database."""
+
+    def __init__(self, directory: str | Path) -> None:
+        self.directory = Path(directory)
+
+    def path(self, suite: str) -> Path:
+        """Where the suite's ledger file lives."""
+        return self.directory / f"{suite}.jsonl"
+
+    def suites(self) -> list[str]:
+        """Every suite with at least one ledger line, sorted."""
+        if not self.directory.is_dir():
+            return []
+        return sorted(p.stem for p in self.directory.glob("*.jsonl"))
+
+    def load(
+        self, suite: str, allow_truncated_tail: bool = False
+    ) -> list[LedgerRecord]:
+        """All of one suite's records, in append (``seq``) order."""
+        path = self.path(suite)
+        if not path.is_file():
+            return []
+        return sort_records(
+            parse_ledger_jsonl(
+                path.read_text(encoding="utf-8"),
+                allow_truncated_tail=allow_truncated_tail,
+            )
+        )
+
+    def append(
+        self, record: LedgerRecord, allow_truncated_tail: bool = False
+    ) -> tuple[LedgerRecord, bool]:
+        """Append one record; returns ``(stored_record, appended)``.
+
+        Idempotent: a record whose ``(git_sha, config_digest)`` already
+        exists in the suite's file is *not* re-appended — the existing
+        record is returned with ``appended=False``.  A fresh record gets
+        the next sequence number, so attribution order is decided at
+        append time, never by later file-line order.
+        """
+        existing = self.load(record.suite, allow_truncated_tail)
+        for prior in existing:
+            if (
+                prior.git_sha == record.git_sha
+                and prior.config_digest == record.config_digest
+            ):
+                return prior, False
+        stored = LedgerRecord.from_dict(record.to_dict())
+        stored.schema_version = LEDGER_SCHEMA_VERSION
+        stored.seq = max((r.seq for r in existing), default=-1) + 1
+        self.directory.mkdir(parents=True, exist_ok=True)
+        path = self.path(record.suite)
+        if allow_truncated_tail and path.is_file():
+            # Heal a killed append before writing: drop the partial last
+            # line (it never became a record) so the file parses strictly
+            # again afterwards.  Intact lines keep their original bytes.
+            lines = path.read_text(encoding="utf-8").splitlines()
+            while lines and not lines[-1].strip():
+                lines.pop()
+            if lines:
+                try:
+                    json.loads(lines[-1])
+                except json.JSONDecodeError:
+                    lines.pop()
+            path.write_text(
+                "".join(line + "\n" for line in lines), encoding="utf-8"
+            )
+        with open(path, "a", encoding="utf-8") as handle:
+            handle.write(json.dumps(stored.to_dict(), sort_keys=True) + "\n")
+        return stored, True
+
+    def append_many(
+        self, records: Sequence[LedgerRecord]
+    ) -> list[tuple[LedgerRecord, bool]]:
+        """Append several records, in order; see :meth:`append`."""
+        return [self.append(record) for record in records]
+
+
+# --------------------------------------------------------------- converters
+
+
+def _flatten_numeric(data: Mapping, prefix: str = "", depth: int = 3) -> dict:
+    """Dotted numeric leaves of a nested result dict (lists skipped)."""
+    flat: dict[str, float] = {}
+    for key in sorted(data):
+        value = data[key]
+        name = f"{prefix}{key}"
+        if isinstance(value, bool):
+            continue
+        if isinstance(value, (int, float)):
+            flat[name] = value
+        elif isinstance(value, Mapping) and depth > 1:
+            flat.update(_flatten_numeric(value, f"{name}.", depth - 1))
+    return flat
+
+
+def _serving_metrics(results: Mapping) -> dict[str, float] | None:
+    """Sentinel metrics when ``results`` is (or wraps) a serving report."""
+    from repro.bench.sentinel import serving_report_metrics
+
+    if "latency" in results and "queue" in results:
+        return serving_report_metrics(results)
+    for key in ("process", "serial", "report"):
+        inner = results.get(key)
+        if isinstance(inner, Mapping) and "latency" in inner:
+            return serving_report_metrics(inner)
+    return None
+
+
+def record_from_baseline_document(data: Mapping) -> LedgerRecord:
+    """A ledger record converted from a ``benchmarks/baselines`` file."""
+    try:
+        return LedgerRecord(
+            suite=data["experiment"],
+            git_sha=data.get("git_sha", "unknown"),
+            metrics=dict(data["metrics"]),
+            keysize=data.get("keysize"),
+            config=dict(data.get("config", {})),
+            source="baseline",
+        )
+    except (KeyError, TypeError, ValueError, AttributeError) as exc:
+        raise ReproError(f"malformed baseline document: {exc}") from exc
+
+
+def record_from_bench_document(data: Mapping) -> LedgerRecord:
+    """A ledger record converted from a ``BENCH_<experiment>.json`` file.
+
+    Serving-report payloads distill through the sentinel's
+    ``serving_report_metrics``; anything else contributes its numeric
+    leaves.  The document's observability snapshot (when the run was
+    traced) rides along whole, exemplars included.
+    """
+    try:
+        results = data.get("results", {})
+        metrics = (
+            _serving_metrics(results)
+            if isinstance(results, Mapping)
+            else None
+        )
+        if metrics is None:
+            metrics = (
+                _flatten_numeric(results)
+                if isinstance(results, Mapping)
+                else {}
+            )
+        return LedgerRecord(
+            suite=data["experiment"],
+            git_sha=data.get("git_sha", "unknown"),
+            metrics=metrics,
+            keysize=data.get("keysize"),
+            config=dict(data.get("config", {})),
+            obs=data.get("metrics"),
+            source="bench",
+        )
+    except (KeyError, TypeError, ValueError, AttributeError) as exc:
+        raise ReproError(f"malformed bench document: {exc}") from exc
+
+
+def ledger_stamp(record: LedgerRecord) -> str:
+    """The HTML-comment form of a record, for markdown report embedding."""
+    payload = json.dumps(record.to_dict(), sort_keys=True)
+    return f"{LEDGER_STAMP_PREFIX}{payload}{LEDGER_STAMP_SUFFIX}"
+
+
+def records_from_markdown(text: str) -> list[LedgerRecord]:
+    """Every ledger stamp embedded in a perf-check markdown report."""
+    records: list[LedgerRecord] = []
+    for line_no, line in enumerate(text.splitlines(), start=1):
+        stripped = line.strip()
+        if not stripped.startswith(LEDGER_STAMP_PREFIX):
+            continue
+        if not stripped.endswith(LEDGER_STAMP_SUFFIX):
+            raise ReproError(
+                f"report line {line_no} opens a ledger stamp but never "
+                "closes it; was the file truncated?"
+            )
+        payload = stripped[len(LEDGER_STAMP_PREFIX) : -len(LEDGER_STAMP_SUFFIX)]
+        try:
+            data = json.loads(payload)
+        except json.JSONDecodeError as exc:
+            raise ReproError(
+                f"report line {line_no} ledger stamp does not parse: {exc}"
+            ) from exc
+        records.append(LedgerRecord.from_dict(data))
+    return records
+
+
+def records_from_text(text: str) -> list[LedgerRecord]:
+    """Parse any appendable document into ledger records.
+
+    Accepts a perf-check markdown report (with embedded ledger stamps), a
+    baseline JSON document, a ``BENCH_*.json`` document, or a raw JSONL
+    ledger fragment.  Raises :class:`ReproError` when the document holds
+    no recognizable records — an old perf-check report without stamps
+    names the fix explicitly.
+    """
+    stripped = text.lstrip()
+    if stripped.startswith("{"):
+        try:
+            data = json.loads(text)
+        except json.JSONDecodeError:
+            # Not one JSON document — maybe a JSONL ledger fragment.
+            return parse_ledger_jsonl(text)
+        if not isinstance(data, Mapping):
+            raise ReproError(
+                "document is valid JSON but not a record object; "
+                "expected a baseline or BENCH document"
+            )
+        if "results" in data:
+            return [record_from_bench_document(data)]
+        if "experiment" in data and "metrics" in data:
+            return [record_from_baseline_document(data)]
+        if "suite" in data and "metrics" in data:
+            return [LedgerRecord.from_dict(data)]
+        raise ReproError(
+            "JSON document carries neither a bench payload ('results') nor "
+            "baseline metrics ('experiment' + 'metrics'); nothing to append"
+        )
+    records = records_from_markdown(text)
+    if not records:
+        raise ReproError(
+            "no ledger stamps found in the document — re-generate the "
+            "report with a current `repro perf-check --report-out` (older "
+            "reports predate embedded suite/config provenance)"
+        )
+    return records

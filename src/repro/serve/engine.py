@@ -97,6 +97,15 @@ class ServeConfig:
     # byte-identical; approximate kinds mark every answer partial with
     # the engine's measured recall.
     index: str | None = None
+    # Latency-histogram exemplars: record each bucket's worst observation
+    # together with the span id of the job that produced it, so a flagged
+    # p99 row in the trend dashboard resolves to a concrete trace
+    # (`repro analyze --exemplars`).  Requires obs; off by default, and
+    # off is byte-identical to every pre-exemplar release.
+    exemplars: bool = False
+    # Per-bucket trace ring size (None keeps the 4096-span default).
+    # Evictions are published as `obs.trace.spans_dropped`.
+    trace_capacity: int | None = None
 
     def __post_init__(self) -> None:
         if self.workers < 1:
@@ -130,6 +139,17 @@ class ServeConfig:
                     f"{shards} shards exceed {self.workers} workers under "
                     "the process executor; raise workers or lower shards"
                 )
+        if self.exemplars and not self.obs:
+            raise ConfigurationError(
+                "exemplars need the observability pipeline; pass obs=True"
+            )
+        if self.trace_capacity is not None:
+            if not self.obs:
+                raise ConfigurationError(
+                    "trace_capacity only applies with obs=True"
+                )
+            if self.trace_capacity < 1:
+                raise ConfigurationError("trace_capacity must be >= 1")
         if self.control is not None and not hasattr(
             self.control, "tick_seconds"
         ):
@@ -167,6 +187,8 @@ class ServeConfig:
             guard=self.guard,
             deadline_seconds=self.deadline_seconds,
             obs=self.obs,
+            trace_capacity=self.trace_capacity,
+            exemplars=self.exemplars,
             cluster=self.cluster,
             retry_budget=getattr(self.control, "retry_budget", None),
             breaker_failures=getattr(self.control, "breaker_failures", None),
@@ -762,14 +784,37 @@ class ServeEngine:
             registry.counter("serve.jobs.failed").inc(len(failures))
             registry.counter("serve.jobs.rejected").inc(len(rejected))
             registry.gauge("serve.queue.max_depth").set(max(depths, default=0))
-            latency_hist = registry.histogram("serve.latency_seconds")
-            for latency in latencies:
-                latency_hist.observe(latency)
             # Bucket-local span ids collide across buckets; remap per group,
             # in bucket order, so the run-wide trace is deterministic.
             merged = merge_span_groups(
                 [[Span.from_dict(item) for item in group] for group in stats.spans]
             )
+            latency_hist = registry.histogram("serve.latency_seconds")
+            if cfg.exemplars:
+                # Same sorted observation order as the plain path (so the
+                # histogram totals match bit for bit), but each sample
+                # carries its job's merged `serve.job` span id as the
+                # bucket exemplar.
+                job_spans = {
+                    span.attrs.get("job_id"): span.span_id
+                    for span in merged
+                    if span.name == "serve.job"
+                }
+                samples = sorted(
+                    (
+                        (slot.latency, job_spans.get(slot.job.job_id))
+                        for slot in planned
+                    ),
+                    key=lambda s: (s[0], -1 if s[1] is None else s[1]),
+                )
+                for latency, span_id in samples:
+                    latency_hist.observe(latency, exemplar=span_id)
+                registry.counter("serve.exemplars.recorded").inc(
+                    sum(1 for _, span_id in samples if span_id is not None)
+                )
+            else:
+                for latency in latencies:
+                    latency_hist.observe(latency)
             obs_payload = {
                 "metrics": registry.snapshot().to_dict(),
                 "spans": [span.to_dict() for span in merged],

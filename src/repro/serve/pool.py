@@ -33,7 +33,7 @@ from repro.geometry.space import LocationSpace
 from repro.guard.guard import ProtocolGuard
 from repro.index.base import IndexCounters
 from repro.metrics.quality import estimate_brownout_quality
-from repro.obs import MetricsRegistry, MetricsSnapshot, Observability
+from repro.obs import MetricsRegistry, MetricsSnapshot, Observability, Tracer
 from repro.partition.solver import solve_partition
 from repro.serve.cache import CacheStats, KnnLRUCache
 from repro.serve.workload import GroupProfile, QueryJob
@@ -101,6 +101,15 @@ class RunnerOptions:
     guard: bool = False
     deadline_seconds: float | None = None
     obs: bool = False
+    # Per-bucket trace ring size (None keeps the Tracer default).  The
+    # bucket publishes evictions as ``obs.trace.spans_dropped`` so trend
+    # and exemplar data loss is visible instead of silent.
+    trace_capacity: int | None = None
+    # Wrap each job in a ``serve.job`` root span (carrying its job id) so
+    # latency-histogram exemplars can link a bucket back to the concrete
+    # trace.  Off by default: the no-exemplar trace is byte-identical to
+    # every prior release.
+    exemplars: bool = False
     cluster: object | None = None  # a repro.cluster.ClusterConfig, or None
     # Overload-control knobs (see repro.serve.control).  The defaults
     # reproduce the pre-control behaviour bit for bit.
@@ -208,7 +217,13 @@ class BucketRunner:
         if options.knn_cache_size is not None and options.cluster is None:
             lsp.engine.set_knn_cache(KnnLRUCache(options.knn_cache_size))
         self._sessions: dict[tuple[int, str, int], QuerySession] = {}
-        self.obs = Observability() if options.obs else None
+        self.obs = None
+        if options.obs:
+            self.obs = (
+                Observability(tracer=Tracer(capacity=options.trace_capacity))
+                if options.trace_capacity is not None
+                else Observability()
+            )
         self._guard = (
             ProtocolGuard(deadline_seconds=options.deadline_seconds, obs=self.obs)
             if options.guard
@@ -336,6 +351,16 @@ class BucketRunner:
         )
 
     def run_job(self, job: QueryJob, group: GroupProfile) -> JobOutcome:
+        if self.obs is not None and self.options.exemplars:
+            # One root span per job, stamped with the job id: the engine's
+            # latency histogram records this span's (merged) id as the
+            # bucket exemplar, closing the loop from a flagged p99 row to
+            # a renderable trace.
+            with self.obs.span("serve.job", job_id=job.job_id):
+                return self._execute_job(job, group)
+        return self._execute_job(job, group)
+
+    def _execute_job(self, job: QueryJob, group: GroupProfile) -> JobOutcome:
         if self._cluster is not None:
             return self._run_cluster_job(job, group)
         effective, degraded_k = self._effective_job(job)
@@ -526,6 +551,13 @@ class BucketRunner:
             self.obs.count("index.queries", index_totals.queries)
             self.obs.count("index.nodes_visited", index_totals.nodes_visited)
             self.obs.count("index.candidates_scored", index_totals.candidates_scored)
+            if self.obs.tracer.dropped:
+                # Ring-buffer evictions mean the exported trace (and any
+                # exemplar span ids pointing into it) is incomplete;
+                # publish the loss so `repro analyze` can warn.
+                self.obs.count(
+                    "obs.trace.spans_dropped", self.obs.tracer.dropped
+                )
             stats.metrics = self.obs.snapshot()
             stats.spans = (
                 tuple(span.to_dict() for span in self.obs.tracer.spans()),

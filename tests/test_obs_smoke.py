@@ -261,6 +261,52 @@ def _control_scenario() -> set[str]:
     )
 
 
+def _small_serve(queries: int, **serve_kwargs) -> "ServingReport":
+    """A tiny traced serving run for targeted metric scenarios."""
+    space = LocationSpace.unit_square()
+    lsp = LSPServer(
+        clustered_pois(120, space, seed=11), sanitation_samples=8, seed=99
+    )
+    config = PPGNNConfig(
+        d=3, delta=6, k=3, keysize=128, key_seed=5,
+        sanitize=False, sanitation_samples=8,
+    )
+    spec = WorkloadSpec(
+        queries=queries,
+        rate_qps=40.0,
+        protocol_mix={"ppgnn": 1.0},
+        group_size_mix={2: 1.0},
+        k_mix={3: 1.0},
+        tenants=("t0",),
+        groups=2,
+        seed=33,
+    )
+    serve = ServeConfig(workers=1, obs=True, **serve_kwargs)
+    return ServeEngine(lsp, config, serve).run(generate_workload(spec, space))
+
+
+def _dropped_spans_scenario() -> set[str]:
+    """A tiny trace ring buffer overflows → ``obs.trace.spans_dropped``."""
+    report = _small_serve(6, trace_capacity=4)
+    counters = report.obs["metrics"]["counters"]
+    assert counters["obs.trace.spans_dropped"] > 0
+    return set(counters)
+
+
+def _exemplars_scenario() -> set[str]:
+    """Exemplar recording publishes ``serve.exemplars.recorded`` and
+    attaches span ids to latency histogram buckets."""
+    report = _small_serve(6, exemplars=True)
+    metrics = report.obs["metrics"]
+    assert metrics["counters"]["serve.exemplars.recorded"] == 6
+    latency = metrics["histograms"]["serve.latency_seconds"]
+    assert latency["exemplars"], "exemplar run must attach span ids"
+    span_ids = {span["span_id"] for span in report.obs["spans"]}
+    for entry in latency["exemplars"].values():
+        assert entry["span"] in span_ids
+    return set(metrics["counters"])
+
+
 class TestObsSmoke:
     def test_twenty_queries_complete(self, served_report):
         assert served_report.queries == 20
@@ -299,6 +345,8 @@ class TestObsSmoke:
         published |= _cluster_scenario().snapshot().names
         published |= _breaker_scenario().snapshot().names
         published |= _control_scenario()
+        published |= _dropped_spans_scenario()
+        published |= _exemplars_scenario()
         missing = documented - published
         assert not missing, f"documented but never published: {sorted(missing)}"
 
